@@ -1,0 +1,61 @@
+// Command benchtab regenerates the tables and figures of "Optimizing
+// Off-Chip Accesses in Multicores" (PLDI 2015):
+//
+//	benchtab -exp fig16          # one experiment
+//	benchtab -exp all            # everything (several minutes)
+//	benchtab -exp fig14 -apps apsi,swim -quick
+//
+// Each experiment prints a fixed-width table whose rows correspond to the
+// bars/series of the paper's figure; see DESIGN.md for the per-experiment
+// index and EXPERIMENTS.md for paper-vs-measured commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"offchip/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig3..fig25, table2) or 'all'")
+	apps := flag.String("apps", "", "comma-separated application subset (default: all 13)")
+	quick := flag.Bool("quick", false, "sampled short traces (fast smoke run; numbers not meaningful)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of tables")
+	flag.Parse()
+
+	cfg := experiments.Config{}
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+	if *quick {
+		cfg.MaxAccessesPerThread = 200
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.AllIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if *asJSON {
+			raw, err := experiments.RunJSON(id, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(raw))
+			continue
+		}
+		out, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

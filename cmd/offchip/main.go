@@ -1,0 +1,161 @@
+// Command offchip runs the off-chip access localization pass on a program
+// in the affine-loop language and reports what the compiler did and what it
+// bought on the simulated manycore:
+//
+//	offchip -src kernel.alc                # transform + simulate
+//	offchip -src kernel.alc -show          # also print the transformed forms
+//	offchip -app apsi                      # use a built-in benchmark kernel
+//	offchip -app apsi -l2 shared -mapping m2
+//
+// The report shows the per-array transformation decisions (Table 2 style),
+// the Figure 9(c) customized reference forms, and the baseline/optimized/
+// optimal comparison on the Table 1 platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offchip/internal/approx"
+	"offchip/internal/core"
+	"offchip/internal/ir"
+	"offchip/internal/layout"
+	"offchip/internal/stats"
+	"offchip/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "offchip:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	src := flag.String("src", "", "program in the affine-loop language")
+	app := flag.String("app", "", "built-in benchmark kernel (wupwise..minimd)")
+	l2 := flag.String("l2", "private", "last-level cache: private | shared")
+	mapping := flag.String("mapping", "m1", "L2-to-MC mapping: m1 | m2")
+	interleave := flag.String("interleave", "line", "physical address interleaving: line | page")
+	show := flag.Bool("show", false, "print the transformed reference forms")
+	simulate := flag.Bool("sim", true, "run the baseline/optimized/optimal simulation")
+	flag.Parse()
+
+	m := layout.Default8x8()
+	switch *l2 {
+	case "private":
+	case "shared":
+		m.L2 = layout.SharedL2
+	default:
+		return fmt.Errorf("unknown -l2 %q", *l2)
+	}
+	switch *interleave {
+	case "line":
+	case "page":
+		m.Interleave = layout.PageInterleave
+	default:
+		return fmt.Errorf("unknown -interleave %q", *interleave)
+	}
+	placement := layout.PlacementCorners(m.MeshX, m.MeshY)
+	var cm *layout.ClusterMapping
+	var err error
+	switch *mapping {
+	case "m1":
+		cm, err = layout.MappingM1(m, placement)
+	case "m2":
+		cm, err = layout.MappingM2(m, placement)
+	default:
+		return fmt.Errorf("unknown -mapping %q", *mapping)
+	}
+	if err != nil {
+		return err
+	}
+
+	var prog *ir.Program
+	var store *ir.DataStore
+	var bench *workloads.App
+	switch {
+	case *src != "":
+		text, err := os.ReadFile(*src)
+		if err != nil {
+			return err
+		}
+		prog, err = ir.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		store = ir.NewDataStore()
+	case *app != "":
+		a, ok := workloads.ByName(*app)
+		if !ok {
+			return fmt.Errorf("unknown application %q (have %v)", *app, workloads.Names())
+		}
+		bench = a
+		prog, store, err = a.Load()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -src <file> or -app <name>")
+	}
+
+	res, err := layout.Optimize(prog, m, cm, &layout.Options{Approx: approx.NewProfiler(store)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine: %dx%d mesh, %d MCs (%s), %s, %s interleaving, mapping %s\n\n",
+		m.MeshX, m.MeshY, m.NumMCs, placement.Name, m.L2, m.Interleave, cm.Name)
+	fmt.Println(res.Report())
+
+	if *show {
+		fmt.Println("transformed references (Figure 9(c) forms):")
+		for _, nest := range prog.Nests {
+			for _, s := range nest.Body {
+				for _, r := range s.Refs() {
+					al := res.Layout(r.Array)
+					if !al.Optimized {
+						continue
+					}
+					if cr, err := al.RewriteRef(r); err == nil {
+						fmt.Printf("  %-28s -> %s\n", r, cr)
+					} else {
+						fmt.Printf("  %-28s -> %s   (schematic: %v)\n", r, al.CustomizedForm(r), err)
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	if !*simulate {
+		return nil
+	}
+	if bench == nil {
+		// Wrap the parsed program as an ad-hoc app for the comparison.
+		bench = &workloads.App{Name: prog.Name, Source: string(mustRead(*src)), Demand: layout.DefaultDemand()}
+	}
+	c, err := core.Compare(bench, m, cm, core.Options{})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{
+		Title:   "simulation (baseline vs optimized vs optimal)",
+		Headers: []string{"metric", "baseline", "optimized", "optimal", "improvement"},
+	}
+	t.AddF("execution time (cycles)", c.Baseline.ExecTime, c.Optimized.ExecTime, c.Optimal.ExecTime, stats.Pct(c.ExecImprovement()))
+	t.AddF("on-chip net latency", c.Baseline.OnChipNetAvg, c.Optimized.OnChipNetAvg, c.Optimal.OnChipNetAvg, stats.Pct(c.OnChipNetImprovement()))
+	t.AddF("off-chip net latency", c.Baseline.OffChipNetAvg, c.Optimized.OffChipNetAvg, c.Optimal.OffChipNetAvg, stats.Pct(c.OffChipNetImprovement()))
+	t.AddF("off-chip mem latency", c.Baseline.MemAvg, c.Optimized.MemAvg, c.Optimal.MemAvg, stats.Pct(c.MemImprovement()))
+	t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
+	fmt.Println(t.String())
+	return nil
+}
+
+func mustRead(path string) []byte {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+// Package offchip reproduces "Optimizing Off-Chip Accesses in Multicores"
+// (Ding, Tang, Kandemir, Zhang, Kultursay — PLDI 2015): a compiler-guided
+// data layout transformation that places each thread's data so its off-chip
+// (main memory) requests reach a nearby memory controller over the
+// network-on-chip, plus the manycore simulation substrate the evaluation
+// needs.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness that regenerates every table and figure of the paper in
+// bench_test.go (one testing.B benchmark per figure).
+package offchip

@@ -1,0 +1,3 @@
+module offchip
+
+go 1.22

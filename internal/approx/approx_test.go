@@ -1,0 +1,191 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"offchip/internal/ir"
+)
+
+// bandedSpMV builds an SpMV-like program whose col index array follows a
+// near-affine banded pattern: row i's nonzeros sit around column i.
+func bandedSpMV(jitter int, rng *rand.Rand) (*ir.Program, *ir.DataStore) {
+	p := ir.MustParse(`
+program spmv
+param N = 64
+param NNZ = 4
+array x[64]
+array col[256] elem 4
+array y[64]
+
+parfor i = 0 .. N {
+  for k = 0 .. NNZ {
+    y[i] = y[i] + x[col[4*i+k]]
+  }
+}
+`)
+	col := p.Array("col")
+	vals := make([]int64, col.NumElems())
+	for i := int64(0); i < 64; i++ {
+		for k := int64(0); k < 4; k++ {
+			c := i + k - 2
+			if jitter > 0 {
+				c += int64(rng.Intn(2*jitter+1) - jitter)
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c > 63 {
+				c = 63
+			}
+			vals[4*i+k] = c
+		}
+	}
+	store := ir.NewDataStore()
+	store.SetContents(col, vals)
+	return p, store
+}
+
+func indexedRef(t *testing.T, p *ir.Program) (*ir.Ref, *ir.LoopNest) {
+	t.Helper()
+	for _, n := range p.Nests {
+		for _, s := range n.Body {
+			for _, r := range s.Refs() {
+				if r.Indexed() {
+					return r, n
+				}
+			}
+		}
+	}
+	t.Fatal("no indexed reference")
+	return nil, nil
+}
+
+func TestApproximateBandedAccepted(t *testing.T) {
+	p, store := bandedSpMV(0, nil)
+	pr := NewProfiler(store)
+	r, nest := indexedRef(t, p)
+	a, ok := pr.Approximate(r, nest)
+	if !ok {
+		t.Fatalf("banded pattern rejected (err %.3f)", pr.Err(r))
+	}
+	// col[4i+k] = i + k - 2: the fitted row for x's single dimension should
+	// have coefficient ~1 on i and ~1 on k.
+	if got := a.At(0, 0); got != 1 {
+		t.Errorf("coefficient on i = %d, want 1", got)
+	}
+	if got := a.At(0, 1); got != 1 {
+		t.Errorf("coefficient on k = %d, want 1", got)
+	}
+	if e := pr.Err(r); e > 0.01 {
+		t.Errorf("error for exact affine pattern = %v", e)
+	}
+}
+
+func TestApproximateJitterStillAccepted(t *testing.T) {
+	p, store := bandedSpMV(3, rand.New(rand.NewSource(7)))
+	pr := NewProfiler(store)
+	r, nest := indexedRef(t, p)
+	if _, ok := pr.Approximate(r, nest); !ok {
+		t.Fatalf("small-jitter band rejected (err %.3f)", pr.Err(r))
+	}
+	if e := pr.Err(r); e <= 0 || e > DefaultThreshold {
+		t.Errorf("error = %v, want within (0, %v]", e, DefaultThreshold)
+	}
+}
+
+func TestApproximateRandomRejected(t *testing.T) {
+	p, store := bandedSpMV(0, nil)
+	// Overwrite the profile with a uniformly random scatter.
+	col := p.Array("col")
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, col.NumElems())
+	for i := range vals {
+		vals[i] = int64(rng.Intn(64))
+	}
+	store.SetContents(col, vals)
+	pr := NewProfiler(store)
+	r, nest := indexedRef(t, p)
+	if _, ok := pr.Approximate(r, nest); ok {
+		t.Fatalf("random scatter accepted (err %.3f)", pr.Err(r))
+	}
+	if e := pr.Err(r); e <= DefaultThreshold {
+		t.Errorf("rejection error = %v, want > %v", e, DefaultThreshold)
+	}
+}
+
+func TestApproximateAffinePassThrough(t *testing.T) {
+	p := ir.MustParse(`
+program aff
+array A[8][8]
+parfor i = 0 .. 8 {
+  for j = 0 .. 8 {
+    A[i][j] = A[i][j]
+  }
+}
+`)
+	pr := NewProfiler(ir.NewDataStore())
+	r := p.Nests[0].Body[0].Write
+	a, ok := pr.Approximate(r, p.Nests[0])
+	if !ok {
+		t.Fatal("exact affine reference rejected")
+	}
+	want, _ := r.AccessMatrix(p.Nests[0].Vars())
+	if !a.Equal(want) {
+		t.Errorf("pass-through matrix mismatch:\n%v\nwant\n%v", a, want)
+	}
+}
+
+func TestErrUnknownRef(t *testing.T) {
+	pr := NewProfiler(ir.NewDataStore())
+	r := &ir.Ref{}
+	if !math.IsNaN(pr.Err(r)) {
+		t.Error("unknown ref error not NaN")
+	}
+}
+
+func TestCustomThresholdAndSampling(t *testing.T) {
+	p, store := bandedSpMV(3, rand.New(rand.NewSource(3)))
+	pr := NewProfiler(store)
+	pr.Threshold = 1e-9 // reject everything imperfect
+	pr.MaxSamples = 64
+	r, nest := indexedRef(t, p)
+	if _, ok := pr.Approximate(r, nest); ok {
+		t.Error("jittered pattern accepted under zero threshold")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	// y = 2a + 3b + 5, exactly.
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{a, b, 1})
+			y = append(y, 2*a+3*b+5)
+		}
+	}
+	coef, ok := leastSquares(x, y)
+	if !ok {
+		t.Fatal("singular")
+	}
+	for i, want := range []float64{2, 3, 5} {
+		if math.Abs(coef[i]-want) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want)
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Column 0 is constant zero: solvable by treating it as unused.
+	x := [][]float64{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}
+	y := []float64{3, 5, 7}
+	coef, ok := leastSquares(x, y)
+	if !ok {
+		t.Fatal("rank-deficient system rejected")
+	}
+	if math.Abs(coef[1]-2) > 1e-9 || math.Abs(coef[2]-1) > 1e-9 {
+		t.Errorf("coef = %v", coef)
+	}
+}

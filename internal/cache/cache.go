@@ -1,0 +1,185 @@
+// Package cache provides the set-associative LRU caches of the simulated
+// manycore (per-node L1s, private or shared-SNUCA L2 banks) and the
+// centralized L2 tag directory that private-L2 systems cache at the memory
+// controllers (Figure 2a).
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache with LRU replacement. It tracks only
+// tags (the simulator never stores data), which is all latency modeling
+// needs.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int64
+
+	tags    [][]int64
+	valid   [][]bool
+	lastUse [][]int64
+	tick    int64
+
+	Hits, Misses int64
+}
+
+// New builds a cache of the given total capacity. Capacity must be a
+// multiple of lineBytes×ways so the set count is a whole number (and a
+// power of two is not required).
+func New(capacityBytes, lineBytes int64, ways int) *Cache {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %dB/%dB/%d-way", capacityBytes, lineBytes, ways))
+	}
+	lines := capacityBytes / lineBytes
+	sets := int(lines) / ways
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{sets: sets, ways: ways, lineBytes: lineBytes}
+	c.tags = make([][]int64, sets)
+	c.valid = make([][]bool, sets)
+	c.lastUse = make([][]int64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]int64, ways)
+		c.valid[s] = make([]bool, ways)
+		c.lastUse[s] = make([]int64, ways)
+	}
+	return c
+}
+
+// LineBytes returns the cache's line size.
+func (c *Cache) LineBytes() int64 { return c.lineBytes }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr int64) int64 { return addr - addr%c.lineBytes }
+
+func (c *Cache) setOf(line int64) int {
+	// XOR-folded set index, as in real L2 designs: strided access patterns
+	// (including the cluster-interleaved layouts this simulator exists to
+	// study) would otherwise alias a fraction of the sets and manufacture
+	// conflict misses the paper's hardware does not see.
+	x := line / c.lineBytes
+	return int((x ^ (x >> 5) ^ (x >> 11)) % int64(c.sets))
+}
+
+// Access looks up the line containing addr, filling it on a miss. It
+// returns whether the access hit, and the address of the line evicted to
+// make room (-1 when nothing valid was evicted).
+func (c *Cache) Access(addr int64) (hit bool, evicted int64) {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	c.tick++
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.lastUse[s][w] = c.tick
+			c.Hits++
+			return true, -1
+		}
+		if !c.valid[s][w] {
+			victim = w
+		} else if c.valid[s][victim] && c.lastUse[s][w] < c.lastUse[s][victim] {
+			victim = w
+		}
+	}
+	c.Misses++
+	evicted = -1
+	if c.valid[s][victim] {
+		evicted = c.tags[s][victim]
+	}
+	c.tags[s][victim] = line
+	c.valid[s][victim] = true
+	c.lastUse[s][victim] = c.tick
+	return false, evicted
+}
+
+// Contains reports whether the line containing addr is present, without
+// disturbing LRU state or statistics.
+func (c *Cache) Contains(addr int64) bool {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present.
+func (c *Cache) Invalidate(addr int64) {
+	line := c.LineAddr(addr)
+	s := c.setOf(line)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.valid[s][w] = false
+			return
+		}
+	}
+}
+
+// MissRate returns misses / accesses (0 when never accessed).
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// MaxDirectoryCores bounds the sharer bitmask width of the directory.
+const MaxDirectoryCores = 64
+
+// Directory is the centralized L2 tag directory of the private-L2 system,
+// logically partitioned across memory controllers: it records which
+// private L2s hold each line so a miss can be served by an on-chip
+// cache-to-cache transfer instead of going off-chip.
+type Directory struct {
+	sharers map[int64]uint64
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{sharers: map[int64]uint64{}}
+}
+
+// Owner returns a core whose L2 holds the line (the lowest-numbered
+// sharer), or -1 when no L2 holds it.
+func (d *Directory) Owner(line int64) int {
+	m := d.sharers[line]
+	if m == 0 {
+		return -1
+	}
+	for i := 0; i < MaxDirectoryCores; i++ {
+		if m&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add records that core's L2 now holds the line.
+func (d *Directory) Add(line int64, core int) {
+	if core < 0 || core >= MaxDirectoryCores {
+		panic(fmt.Sprintf("cache: directory core %d out of range", core))
+	}
+	d.sharers[line] |= 1 << uint(core)
+}
+
+// Remove records that core's L2 evicted the line.
+func (d *Directory) Remove(line int64, core int) {
+	if core < 0 || core >= MaxDirectoryCores {
+		return
+	}
+	m := d.sharers[line] &^ (1 << uint(core))
+	if m == 0 {
+		delete(d.sharers, line)
+	} else {
+		d.sharers[line] = m
+	}
+}
+
+// Entries returns the number of tracked lines (for tests).
+func (d *Directory) Entries() int { return len(d.sharers) }
+
+// Sharers returns the bitmask of cores whose L2s hold the line.
+func (d *Directory) Sharers(line int64) uint64 { return d.sharers[line] }

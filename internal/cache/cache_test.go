@@ -1,0 +1,120 @@
+package cache
+
+import "testing"
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(1024, 64, 2)
+	if hit, _ := c.Access(0); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(32); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit, _ := c.Access(64); hit {
+		t.Error("next-line access hit")
+	}
+	if c.Hits != 1 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.MissRate() != 2.0/3.0 {
+		t.Errorf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways × 2 sets × 64B lines = 256B. Lines 0, 128, 256 share set 0.
+	c := New(256, 64, 2)
+	c.Access(0)
+	c.Access(128)
+	c.Access(0) // touch 0: now 128 is LRU
+	hit, evicted := c.Access(256)
+	if hit {
+		t.Error("conflicting access hit")
+	}
+	if evicted != 128 {
+		t.Errorf("evicted %d, want 128 (LRU)", evicted)
+	}
+	if !c.Contains(0) || c.Contains(128) || !c.Contains(256) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Access(0)
+	hits, misses := c.Hits, c.Misses
+	if c.Contains(4096) {
+		t.Error("phantom line")
+	}
+	if c.Hits != hits || c.Misses != misses {
+		t.Error("Contains changed stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Access(0)
+	c.Invalidate(32) // same line as 0
+	if c.Contains(0) {
+		t.Error("line survived invalidation")
+	}
+	c.Invalidate(512) // absent: no-op
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(1024, 64, 2)
+	if got := c.LineAddr(130); got != 128 {
+		t.Errorf("LineAddr(130) = %d", got)
+	}
+	if c.LineBytes() != 64 {
+		t.Errorf("LineBytes = %d", c.LineBytes())
+	}
+}
+
+func TestEvictedSentinel(t *testing.T) {
+	c := New(256, 64, 2)
+	if _, ev := c.Access(0); ev != -1 {
+		t.Errorf("cold fill evicted %d", ev)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	if d.Owner(100) != -1 {
+		t.Error("empty directory has owner")
+	}
+	d.Add(100, 5)
+	d.Add(100, 3)
+	if d.Owner(100) != 3 {
+		t.Errorf("owner = %d, want lowest sharer 3", d.Owner(100))
+	}
+	d.Remove(100, 3)
+	if d.Owner(100) != 5 {
+		t.Errorf("owner after remove = %d", d.Owner(100))
+	}
+	d.Remove(100, 5)
+	if d.Owner(100) != -1 || d.Entries() != 0 {
+		t.Error("entry not cleaned up")
+	}
+	d.Remove(200, 1) // absent: no-op
+	d.Remove(100, -1)
+}
+
+func TestDirectoryPanicsOutOfRange(t *testing.T) {
+	d := NewDirectory()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range core accepted")
+		}
+	}()
+	d.Add(0, MaxDirectoryCores)
+}
+
+func TestGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	New(0, 64, 2)
+}

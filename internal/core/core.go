@@ -1,0 +1,242 @@
+// Package core is the library façade: it wires the compiler pass
+// (internal/layout with internal/approx), the trace generator, and the
+// manycore simulator into the three runs every experiment compares —
+// baseline (original layouts), optimized (the paper's transformation), and
+// the Section 2 optimal scheme — and distills the simulator output into the
+// metrics the paper's figures report.
+package core
+
+import (
+	"fmt"
+
+	"offchip/internal/approx"
+	"offchip/internal/ir"
+	"offchip/internal/layout"
+	"offchip/internal/noc"
+	"offchip/internal/sim"
+	"offchip/internal/trace"
+	"offchip/internal/workloads"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Threads is the total software thread count (0: one per core).
+	Threads int
+	// MaxAccessesPerThread caps trace length. Zero means full (unsampled)
+	// traces: experiments need identical iteration coverage in the
+	// baseline and optimized runs so that miss counts stay comparable.
+	MaxAccessesPerThread int
+	// BaselinePolicy is the page policy of the baseline run under page
+	// interleaving (default PolicyInterleaved; PolicyFirstTouch for the
+	// Section 6.3 comparison).
+	BaselinePolicy sim.PolicyKind
+	// MLPWindow overrides the per-core outstanding-miss window (0: default).
+	MLPWindow int
+	// BanksPerMC overrides the DRAM bank count per controller (0: the
+	// calibrated default). The M1-vs-M2 experiments (Figures 17/18) use the
+	// paper's nominal 4 banks per device, the bank-scarce regime the
+	// locality-vs-MLP trade-off is about.
+	BanksPerMC int
+	// Contention disables NoC link contention when explicitly set false
+	// via NoContention (ablation).
+	NoContention bool
+}
+
+// Metrics distills one simulation run.
+type Metrics struct {
+	ExecTime      int64
+	OnChipNetAvg  float64 // mean network latency of on-chip accesses
+	OffChipNetAvg float64 // mean network latency of off-chip accesses
+	MemAvg        float64 // mean off-chip memory latency (queue + service)
+	QueueAvg      float64 // mean off-chip queue wait (the Figure 14 mechanism)
+	OffChipShare  float64 // fraction of accesses served off-chip (Figure 3)
+	AvgQueueOcc   float64 // mean bank-queue occupancy (Figure 18)
+	HopCDFOn      []float64
+	HopCDFOff     []float64
+	AccessMap     [][]int64 // [node][mc] off-chip requests (Figure 13)
+	AppExecTime   map[int]int64
+}
+
+func queueAvg(r *sim.Result) float64 {
+	if r.MemServed == 0 {
+		return 0
+	}
+	return float64(r.MemQueue) / float64(r.MemServed)
+}
+
+func distill(r *sim.Result) Metrics {
+	return Metrics{
+		ExecTime:      r.ExecTime,
+		OnChipNetAvg:  r.AvgNetLatency(noc.OnChip),
+		OffChipNetAvg: r.AvgNetLatency(noc.OffChip),
+		MemAvg:        r.AvgMemLatency(),
+		QueueAvg:      queueAvg(r),
+		OffChipShare:  r.OffChipShare(),
+		AvgQueueOcc:   r.AvgQueueOcc,
+		HopCDFOn:      r.HopCDF[noc.OnChip],
+		HopCDFOff:     r.HopCDF[noc.OffChip],
+		AccessMap:     r.AccessMap,
+		AppExecTime:   r.AppExecTime,
+	}
+}
+
+// Comparison is the outcome of running one application three ways.
+type Comparison struct {
+	App       string
+	Machine   layout.Machine
+	Mapping   string
+	Baseline  Metrics
+	Optimized Metrics
+	Optimal   Metrics
+
+	// Compiler statistics (Table 2).
+	PctArraysOptimized float64
+	PctRefsSatisfied   float64
+}
+
+// Improvement helpers: fractional reduction of the optimized run vs the
+// baseline for the four Figure 14/16 metrics.
+
+// ExecImprovement returns 1 − T_opt/T_base.
+func (c *Comparison) ExecImprovement() float64 {
+	return improvement(float64(c.Baseline.ExecTime), float64(c.Optimized.ExecTime))
+}
+
+// OnChipNetImprovement returns the on-chip network latency reduction.
+func (c *Comparison) OnChipNetImprovement() float64 {
+	return improvement(c.Baseline.OnChipNetAvg, c.Optimized.OnChipNetAvg)
+}
+
+// OffChipNetImprovement returns the off-chip network latency reduction.
+func (c *Comparison) OffChipNetImprovement() float64 {
+	return improvement(c.Baseline.OffChipNetAvg, c.Optimized.OffChipNetAvg)
+}
+
+// MemImprovement returns the off-chip memory latency reduction.
+func (c *Comparison) MemImprovement() float64 {
+	return improvement(c.Baseline.MemAvg, c.Optimized.MemAvg)
+}
+
+// QueueImprovement returns the off-chip queue-wait reduction — the paper's
+// stated mechanism behind the Figure 14/16 memory latency bars ("as a
+// result of the reduction in queuing latency").
+func (c *Comparison) QueueImprovement() float64 {
+	return improvement(c.Baseline.QueueAvg, c.Optimized.QueueAvg)
+}
+
+// OptimalExecImprovement returns the Section 2 bound: 1 − T_optimal/T_base.
+func (c *Comparison) OptimalExecImprovement() float64 {
+	return improvement(float64(c.Baseline.ExecTime), float64(c.Optimal.ExecTime))
+}
+
+func improvement(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - opt) / base
+}
+
+// SimConfig assembles the simulator configuration for the machine/mapping.
+// Cache capacities are scaled down from Table 1 in proportion to the
+// synthetic kernels' footprints (a few MB instead of the paper's 124 MB to
+// 1.9 GB inputs), so that working sets exceed the aggregate L2 the way the
+// real applications exceeded the real 16 MB — the off-chip access share
+// (Figure 3) depends on that ratio, not on absolute sizes.
+func SimConfig(m layout.Machine, cm *layout.ClusterMapping, opt Options) sim.Config {
+	cfg := sim.DefaultConfig(m, cm)
+	cfg.L1Bytes = 2 << 10
+	cfg.L2Bytes = 8 << 10
+	if m.L2 == layout.SharedL2 {
+		// A shared SNUCA cache holds each line once; private L2s replicate
+		// shared lines. With the footprint-scaled capacities this is worth
+		// roughly a doubling of effective per-bank capacity.
+		cfg.L2Bytes = 16 << 10
+	}
+	cfg.DRAM.RowBytes = 1 << 10
+	if opt.MLPWindow > 0 {
+		cfg.MLPWindow = opt.MLPWindow
+	}
+	if opt.BanksPerMC > 0 {
+		cfg.DRAM.BanksPerMC = opt.BanksPerMC
+	}
+	if opt.NoContention {
+		cfg.NoC.Contention = false
+	}
+	return cfg
+}
+
+// Workloads builds the baseline and optimized traces for an application.
+// The baseline uses identity layouts; the optimized one runs the full pass
+// with the Section 5.4 profiler.
+func Workloads(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, opt Options) (base, optim *sim.Workload, res *layout.Result, err error) {
+	p, store, err := app.Load()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err = layout.Optimize(p, m, cm, &layout.Options{
+		Threads: opt.Threads,
+		Approx:  approx.NewProfiler(store),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cap := opt.MaxAccessesPerThread
+	if cap == 0 {
+		cap = trace.Unlimited
+	}
+	tOpt := trace.Options{Threads: opt.Threads, MaxAccessesPerThread: cap}
+	identity := &layout.Result{Program: p, Layouts: map[*ir.Array]*layout.ArrayLayout{}}
+	base, err = trace.Generate(p, identity, m, store, tOpt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	optim, err = trace.Generate(p, res, m, store, tOpt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return base, optim, res, nil
+}
+
+// Compare runs the application three ways on the machine: baseline,
+// optimized, and the optimal scheme (on the baseline trace).
+func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, opt Options) (*Comparison, error) {
+	baseW, optW, res, err := Workloads(app, m, cm, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", app.Name, err)
+	}
+
+	cfg := SimConfig(m, cm, opt)
+	cfg.Policy = opt.BaselinePolicy
+	baseR, err := sim.Run(cfg, baseW)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s baseline: %w", app.Name, err)
+	}
+
+	optCfg := cfg
+	if m.Interleave == layout.PageInterleave {
+		// The optimized run needs the OS-assisted policy (Section 5.3).
+		optCfg.Policy = sim.PolicyOSAssisted
+	}
+	optR, err := sim.Run(optCfg, optW)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s optimized: %w", app.Name, err)
+	}
+
+	idealCfg := cfg
+	idealCfg.OptimalOffchip = true
+	idealR, err := sim.Run(idealCfg, baseW)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s optimal: %w", app.Name, err)
+	}
+
+	return &Comparison{
+		App:                app.Name,
+		Machine:            m,
+		Mapping:            cm.Name,
+		Baseline:           distill(baseR),
+		Optimized:          distill(optR),
+		Optimal:            distill(idealR),
+		PctArraysOptimized: res.PctArraysOptimized(),
+		PctRefsSatisfied:   res.PctRefsSatisfied(),
+	}, nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"offchip/internal/workloads"
+)
+
+// TestFullSuiteShape is the end-to-end calibration check: with full traces
+// on the Table 1 platform, every application's execution time must improve
+// and the suite averages must land near the paper's headline numbers
+// (Figure 16: 13.6% / 66.4% / 45.8% / 20.5%). Absolute factors differ — our
+// substrate is a scaled synthetic simulator — but signs and rough bands
+// must hold.
+func TestFullSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-trace 13-application sweep")
+	}
+	m, cm := setup8x8(t)
+	var sumExec, sumOn, sumOff float64
+	apps := workloads.All()
+	for _, app := range apps {
+		c, err := Compare(app, m, cm, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		t.Logf("%-10s exec %6.1f%% | onchip %6.1f%% | offchip %6.1f%% | mem %6.1f%% | queue %6.1f%% | optimal %6.1f%%",
+			app.Name, 100*c.ExecImprovement(), 100*c.OnChipNetImprovement(),
+			100*c.OffChipNetImprovement(), 100*c.MemImprovement(),
+			100*c.QueueImprovement(), 100*c.OptimalExecImprovement())
+		if c.ExecImprovement() < 0 {
+			t.Errorf("%s: execution time regressed by %.1f%%", app.Name, -100*c.ExecImprovement())
+		}
+		if c.OffChipNetImprovement() <= 0 {
+			t.Errorf("%s: off-chip network latency regressed", app.Name)
+		}
+		sumExec += c.ExecImprovement()
+		sumOn += c.OnChipNetImprovement()
+		sumOff += c.OffChipNetImprovement()
+	}
+	n := float64(len(apps))
+	if avg := 100 * sumExec / n; avg < 10 || avg > 35 {
+		t.Errorf("average exec improvement %.1f%%, want [10, 35] (paper: 20.5%%)", avg)
+	}
+	if avg := 100 * sumOff / n; avg < 25 {
+		t.Errorf("average off-chip net improvement %.1f%%, want >= 25 (paper: 66.4%%)", avg)
+	}
+	if avg := 100 * sumOn / n; avg < 10 {
+		t.Errorf("average on-chip net improvement %.1f%%, want >= 10 (paper: 13.6%%)", avg)
+	}
+}

@@ -1,0 +1,249 @@
+package deps
+
+import (
+	"testing"
+
+	"offchip/internal/ir"
+)
+
+func nestOf(t *testing.T, src string) *ir.LoopNest {
+	t.Helper()
+	return ir.MustParse(src).Nests[0]
+}
+
+func hasVector(vs []Vector, want string) bool {
+	for _, v := range vs {
+		if v.String() == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIndependentByGCD(t *testing.T) {
+	// A[2i] written, A[2i+1] read: even vs odd elements never overlap.
+	n := nestOf(t, `
+program p
+array A[64]
+parfor i = 0 .. 16 {
+  A[2*i] = A[2*i+1]
+}
+`)
+	w := n.Body[0].Write
+	r := n.Body[0].Reads[0]
+	if vs := Analyze(n, w, r); len(vs) != 0 {
+		t.Errorf("GCD test missed independence: %v", vs)
+	}
+}
+
+func TestIndependentByConstants(t *testing.T) {
+	n := nestOf(t, `
+program p
+array A[64][64]
+parfor i = 0 .. 8 {
+  A[0][i] = A[1][i]
+}
+`)
+	if vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0]); len(vs) != 0 {
+		t.Errorf("constant rows overlap: %v", vs)
+	}
+}
+
+func TestStencilFlowDirections(t *testing.T) {
+	// A[i][j] = A[i-1][j]: the write at iteration (i,·) is read at
+	// (i+1,·): flow dependence with direction (<,=).
+	n := nestOf(t, `
+program p
+array A[64][64]
+parfor i = 1 .. 64 {
+  for j = 0 .. 64 {
+    A[i][j] = A[i-1][j]
+  }
+}
+`)
+	vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0])
+	if !hasVector(vs, "(<,=)") && !hasVector(vs, "(>,=)") {
+		t.Errorf("stencil direction missing: %v", vs)
+	}
+	// (=,=) must be infeasible (the write never reads its own element).
+	if hasVector(vs, "(=,=)") {
+		t.Errorf("self-dependence reported: %v", vs)
+	}
+}
+
+func TestBanerjeeBoundsPrune(t *testing.T) {
+	// A[i] written for i in [0,8), A[i+100] read: offsets out of range.
+	n := nestOf(t, `
+program p
+array A[256]
+parfor i = 0 .. 8 {
+  A[i] = A[i+100]
+}
+`)
+	if vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0]); len(vs) != 0 {
+		t.Errorf("Banerjee missed range independence: %v", vs)
+	}
+}
+
+func TestIndexedConservative(t *testing.T) {
+	n := nestOf(t, `
+program p
+array A[64]
+array idx[64] elem 4
+parfor i = 0 .. 64 {
+  A[idx[i]] = A[i]
+}
+`)
+	vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0])
+	if len(vs) != 3 { // 3^1 concrete vectors
+		t.Errorf("indexed reference not conservative: %v", vs)
+	}
+}
+
+func TestNestDepsKinds(t *testing.T) {
+	n := nestOf(t, `
+program p
+array A[64][64]
+array B[64][64]
+parfor i = 1 .. 63 {
+  for j = 1 .. 63 {
+    A[i][j] = A[i-1][j] + B[i][j]
+  }
+}
+`)
+	ds := NestDeps(n)
+	var flow int
+	for _, d := range ds {
+		if d.Kind == Flow && d.Src.Array.Name == "A" {
+			flow++
+			if d.String() == "" {
+				t.Error("empty rendering")
+			}
+		}
+		if d.Src.Array.Name == "B" {
+			t.Errorf("read-only array reported: %v", d)
+		}
+	}
+	if flow == 0 {
+		t.Error("flow dependence A[i][j] -> A[i-1][j] missed")
+	}
+}
+
+func TestVectorLexicographic(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{Eq, Eq}, 0},
+		{Vector{Lt, Gt}, 1},
+		{Vector{Eq, Lt}, 1},
+		{Vector{Gt, Lt}, -1},
+		{Vector{Eq, Gt}, -1},
+		{Vector{Star, Gt}, 1}, // conservative
+	}
+	for _, c := range cases {
+		if got := c.v.Lexicographic(); got != c.want {
+			t.Errorf("Lexicographic(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPermutationLegal(t *testing.T) {
+	// Dependence (<,=) survives interchange (becomes (=,<)); (<,>) does
+	// not (becomes (>,<)).
+	fine := []Dep{{Vectors: []Vector{{Lt, Eq}}}}
+	if !PermutationLegal(fine, []int{1, 0}) {
+		t.Error("(<,=) interchange rejected")
+	}
+	bad := []Dep{{Vectors: []Vector{{Lt, Gt}}}}
+	if PermutationLegal(bad, []int{1, 0}) {
+		t.Error("(<,>) interchange accepted")
+	}
+	if !PermutationLegal(bad, []int{0, 1}) {
+		t.Error("identity permutation rejected")
+	}
+}
+
+func TestInnermostLegal(t *testing.T) {
+	// Wavefront: A[i][j] = A[i-1][j] + A[i][j-1]. Interchange of the two
+	// loops is legal ((<,=) -> (=,<) and (=,<) -> (<,=), both positive).
+	wave := nestOf(t, `
+program p
+array A[64][64]
+parfor i = 1 .. 64 {
+  for j = 1 .. 64 {
+    A[i][j] = A[i-1][j] + A[i][j-1]
+  }
+}
+`)
+	if !InnermostLegal(wave, 0) {
+		t.Error("wavefront interchange rejected")
+	}
+	if !InnermostLegal(wave, 1) {
+		t.Error("identity-innermost rejected")
+	}
+
+	// Skewed dependence A[i][j] = A[i-1][j+1]: vector (<,>) — moving i
+	// innermost flips it negative: illegal.
+	skew := nestOf(t, `
+program p
+array A[64][64]
+parfor i = 1 .. 63 {
+  for j = 0 .. 63 {
+    A[i][j] = A[i-1][j+1]
+  }
+}
+`)
+	if InnermostLegal(skew, 0) {
+		t.Error("illegal interchange accepted for (<,>) dependence")
+	}
+	if !InnermostLegal(skew, 1) {
+		t.Error("original order rejected")
+	}
+}
+
+func TestBoundsWithOuterDependence(t *testing.T) {
+	// Triangular nest: the j bounds depend on i; dependence analysis must
+	// stay conservative and not crash.
+	n := nestOf(t, `
+program p
+array A[64][64]
+parfor i = 1 .. 32 {
+  for j = i .. 32 {
+    A[i][j] = A[i-1][j]
+  }
+}
+`)
+	vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0])
+	if !hasVector(vs, "(<,=)") {
+		t.Errorf("triangular stencil dependence missed: %v", vs)
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if Star.String() != "*" || Lt.String() != "<" || Gt.String() != ">" || Eq.String() != "=" {
+		t.Error("direction strings")
+	}
+	if (Vector{Lt, Eq, Gt}).String() != "(<,=,>)" {
+		t.Errorf("vector string = %s", Vector{Lt, Eq, Gt})
+	}
+	for _, k := range []Kind{Flow, Anti, Output} {
+		if k.String() == "" {
+			t.Error("kind string empty")
+		}
+	}
+}
+
+func TestDifferentArraysNoDependence(t *testing.T) {
+	n := nestOf(t, `
+program p
+array A[8]
+array B[8]
+parfor i = 0 .. 8 {
+  A[i] = B[i]
+}
+`)
+	if vs := Analyze(n, n.Body[0].Write, n.Body[0].Reads[0]); vs != nil {
+		t.Errorf("cross-array dependence: %v", vs)
+	}
+}

@@ -1,0 +1,208 @@
+// Package dram models a memory controller with per-bank row buffers and
+// FR-FCFS (first-ready, first-come-first-served) scheduling [16]: among
+// pending requests, row-buffer hits are served before older row-buffer
+// misses; ties fall back to arrival order. Timing follows the shape of the
+// paper's Table 1 DDR3-1600 part: a row-buffer hit costs one CAS, a closed
+// bank adds activation, and a conflict adds precharge.
+package dram
+
+import (
+	"fmt"
+
+	"offchip/internal/engine"
+)
+
+// Config sets the controller parameters.
+type Config struct {
+	BanksPerMC int
+	RowBytes   int64 // row-buffer size (Table 1: 4 KB)
+
+	// Service times in core cycles.
+	TRowHit      int64 // open-row access (CAS)
+	TRowMiss     int64 // closed bank (RCD + CAS)
+	TRowConflict int64 // open different row (RP + RCD + CAS)
+}
+
+// DefaultConfig returns timing in the shape of Micron DDR3-1600 as seen
+// from a 2 GHz core: ~20 cycles CAS, ~40 activate+CAS, ~60 with precharge;
+// 4 KB rows (Table 1), with 16 banks per controller (Table 1's 4 banks per
+// device across four ranks).
+func DefaultConfig() Config {
+	return Config{
+		BanksPerMC:   16,
+		RowBytes:     4096,
+		TRowHit:      20,
+		TRowMiss:     40,
+		TRowConflict: 60,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BanksPerMC <= 0 {
+		return fmt.Errorf("dram: %d banks", c.BanksPerMC)
+	}
+	if c.RowBytes <= 0 {
+		return fmt.Errorf("dram: row size %d", c.RowBytes)
+	}
+	if c.TRowHit <= 0 || c.TRowMiss < c.TRowHit || c.TRowConflict < c.TRowMiss {
+		return fmt.Errorf("dram: inconsistent timings hit=%d miss=%d conflict=%d",
+			c.TRowHit, c.TRowMiss, c.TRowConflict)
+	}
+	return nil
+}
+
+type request struct {
+	addr   int64
+	arrive int64
+	bank   int
+	row    int64
+	onDone func(finish int64)
+}
+
+type bank struct {
+	openRow int64 // -1 when closed
+	freeAt  int64
+}
+
+// Controller is one memory controller instance.
+type Controller struct {
+	ID  int
+	cfg Config
+	sim *engine.Sim
+
+	banks   []bank
+	pending []*request
+
+	// OnSubmit, when set, observes every submitted (local) address; used by
+	// tests and diagnostics.
+	OnSubmit func(addr int64)
+
+	// Stats.
+	Served          int64 // requests completed
+	TotalMemLatency int64 // Σ (finish − arrive): the "memory latency" of Figure 4
+	TotalQueueWait  int64 // Σ (service start − arrive)
+	RowHits         int64
+	queueIntegral   int64 // Σ queueLen·dt, for Figure 18's queue occupancy
+	lastChange      int64
+}
+
+// New returns a controller bound to the simulation clock.
+func New(id int, cfg Config, sim *engine.Sim) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{ID: id, cfg: cfg, sim: sim, banks: make([]bank, cfg.BanksPerMC)}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c
+}
+
+// bankOf maps a local address to its bank and row using permutation-based
+// (XOR-folded) bank interleaving, the standard defense against bank
+// conflicts between regularly strided streams.
+func (c *Controller) bankOf(addr int64) (int, int64) {
+	rowID := addr / c.cfg.RowBytes
+	bank := (rowID ^ (rowID >> 4) ^ (rowID >> 9)) % int64(c.cfg.BanksPerMC)
+	return int(bank), rowID / int64(c.cfg.BanksPerMC)
+}
+
+// Submit enqueues a request at the current simulation time; onDone fires at
+// the completion time.
+func (c *Controller) Submit(addr int64, onDone func(finish int64)) {
+	if c.OnSubmit != nil {
+		c.OnSubmit(addr)
+	}
+	b, row := c.bankOf(addr)
+	r := &request{addr: addr, arrive: c.sim.Now(), bank: b, row: row, onDone: onDone}
+	c.integrate()
+	c.pending = append(c.pending, r)
+	c.dispatch()
+}
+
+// integrate folds the elapsed time into the queue-length integral.
+func (c *Controller) integrate() {
+	now := c.sim.Now()
+	c.queueIntegral += int64(len(c.pending)) * (now - c.lastChange)
+	c.lastChange = now
+}
+
+// dispatch serves every idle bank its FR-FCFS pick.
+func (c *Controller) dispatch() {
+	now := c.sim.Now()
+	for bi := range c.banks {
+		if c.banks[bi].freeAt > now {
+			continue
+		}
+		idx := c.pick(bi)
+		if idx < 0 {
+			continue
+		}
+		r := c.pending[idx]
+		c.integrate()
+		c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
+
+		var dur int64
+		switch {
+		case c.banks[bi].openRow == r.row:
+			dur = c.cfg.TRowHit
+			c.RowHits++
+		case c.banks[bi].openRow == -1:
+			dur = c.cfg.TRowMiss
+		default:
+			dur = c.cfg.TRowConflict
+		}
+		c.banks[bi].openRow = r.row
+		c.banks[bi].freeAt = now + dur
+
+		finish := now + dur
+		c.Served++
+		c.TotalQueueWait += now - r.arrive
+		c.TotalMemLatency += finish - r.arrive
+		req := r
+		c.sim.At(finish, func() {
+			req.onDone(finish)
+			c.dispatch()
+		})
+	}
+}
+
+// pick returns the index of the FR-FCFS choice for the bank, or -1: the
+// oldest row-buffer hit if any, else the oldest request for the bank.
+func (c *Controller) pick(bank int) int {
+	oldest := -1
+	for i, r := range c.pending {
+		if r.bank != bank {
+			continue
+		}
+		if r.row == c.banks[bank].openRow {
+			return i // pending is in arrival order: first hit is oldest hit
+		}
+		if oldest == -1 {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// QueueOccupancy returns the time-averaged queue length over [0, until]:
+// the bank queue utilization of Figure 18.
+func (c *Controller) QueueOccupancy(until int64) float64 {
+	if until <= 0 {
+		return 0
+	}
+	integral := c.queueIntegral + int64(len(c.pending))*(until-c.lastChange)
+	return float64(integral) / float64(until)
+}
+
+// AvgMemLatency returns the mean request latency (queue + service).
+func (c *Controller) AvgMemLatency() float64 {
+	if c.Served == 0 {
+		return 0
+	}
+	return float64(c.TotalMemLatency) / float64(c.Served)
+}
+
+// Outstanding returns the current queue depth (for tests).
+func (c *Controller) Outstanding() int { return len(c.pending) }

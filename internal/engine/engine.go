@@ -1,0 +1,90 @@
+// Package engine is a small deterministic discrete-event simulation kernel:
+// an event queue ordered by (time, insertion sequence) and a reservation
+// resource for modeling contended FIFO hardware (links, ports, banks).
+// Determinism matters — two runs of the same workload must produce
+// identical statistics — so ties are broken by insertion order, never by
+// map iteration or goroutine scheduling.
+package engine
+
+import "container/heap"
+
+// Sim is a discrete-event simulator instance. The zero value is ready to use.
+type Sim struct {
+	now int64
+	seq int64
+	pq  eventQueue
+}
+
+type event struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Now returns the current simulation time in cycles.
+func (s *Sim) Now() int64 { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs
+// the event at the current time instead (events cannot rewind the clock).
+func (s *Sim) At(t int64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.pq, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run d cycles from now.
+func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue is empty and returns the final time.
+func (s *Sim) Run() int64 {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(event)
+		s.now = e.time
+		e.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.pq.Len() }
+
+// Resource models a FIFO-served hardware resource with a known per-use
+// occupancy (a mesh link, a DRAM bank, an MC port). Reserve books the next
+// available slot and advances the resource's horizon; it never schedules
+// events itself — callers fold the returned start time into their own
+// latency computation.
+type Resource struct {
+	freeAt int64
+	// BusyTime accumulates total occupied cycles, for utilization stats.
+	BusyTime int64
+}
+
+// Reserve books the resource for `occupancy` cycles at the earliest time
+// ≥ now, returning the start of the booking.
+func (r *Resource) Reserve(now, occupancy int64) (start int64) {
+	start = now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + occupancy
+	r.BusyTime += occupancy
+	return start
+}
+
+// FreeAt returns the time the resource next becomes free.
+func (r *Resource) FreeAt() int64 { return r.freeAt }

@@ -1,0 +1,96 @@
+package engine
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(10, func() { order = append(order, 1) })
+	s.At(5, func() { order = append(order, 0) })
+	s.At(10, func() { order = append(order, 2) }) // same time: insertion order
+	end := s.Run()
+	if end != 10 {
+		t.Errorf("end = %d", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []int64
+	s.At(3, func() {
+		times = append(times, s.Now())
+		s.After(4, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 3 || times[1] != 7 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var s Sim
+	fired := int64(-1)
+	s.At(10, func() {
+		s.At(5, func() { fired = s.Now() }) // in the past: runs "now"
+	})
+	s.Run()
+	if fired != 10 {
+		t.Errorf("past event fired at %d, want 10", fired)
+	}
+}
+
+func TestPending(t *testing.T) {
+	var s Sim
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d", s.Pending())
+	}
+}
+
+func TestResourceReserve(t *testing.T) {
+	var r Resource
+	if start := r.Reserve(0, 5); start != 0 {
+		t.Errorf("first reserve start = %d", start)
+	}
+	// Contention: second request at t=2 waits until 5.
+	if start := r.Reserve(2, 5); start != 5 {
+		t.Errorf("contended start = %d, want 5", start)
+	}
+	// No contention once free.
+	if start := r.Reserve(100, 5); start != 100 {
+		t.Errorf("idle start = %d, want 100", start)
+	}
+	if r.BusyTime != 15 {
+		t.Errorf("BusyTime = %d", r.BusyTime)
+	}
+	if r.FreeAt() != 105 {
+		t.Errorf("FreeAt = %d", r.FreeAt())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		var s Sim
+		var log []int64
+		for i := int64(0); i < 100; i++ {
+			d := (i * 7) % 13
+			s.At(d, func() { log = append(log, s.Now()) })
+		}
+		s.Run()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+// quick config: short sampled traces, 2 apps — a smoke test of the wiring.
+func TestSmokeAllExperiments(t *testing.T) {
+	cfg := Config{Apps: []string{"apsi", "gafort"}, MaxAccessesPerThread: 120}
+	for _, id := range AllIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) == 0 {
+				t.Fatal("empty output")
+			}
+		})
+	}
+}

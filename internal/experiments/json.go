@@ -1,0 +1,138 @@
+package experiments
+
+import "encoding/json"
+
+// JSON serializations let downstream tooling (plotters, regression
+// trackers) consume regenerated experiments without parsing tables.
+// cmd/benchtab exposes them behind -json.
+
+// MarshalJSON renders the result as {id, title, columns, rows, average}.
+func (f *FigResult) MarshalJSON() ([]byte, error) {
+	type row struct {
+		App    string    `json:"app"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		ID      string    `json:"id"`
+		Title   string    `json:"title"`
+		Columns []string  `json:"columns"`
+		Rows    []row     `json:"rows"`
+		Average []float64 `json:"average,omitempty"`
+	}{ID: f.ID, Title: f.Title, Columns: f.Columns, Average: f.Average}
+	for _, r := range f.Rows {
+		out.Rows = append(out.Rows, row{App: r.App, Values: r.Values})
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the Figure 13 maps.
+func (r *MapResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID                string    `json:"id"`
+		Title             string    `json:"title"`
+		MC                int       `json:"mc"`
+		MeshX             int       `json:"meshX"`
+		Original          []float64 `json:"original"`
+		Optimized         []float64 `json:"optimized"`
+		QuadrantOriginal  float64   `json:"quadrantShareOriginal"`
+		QuadrantOptimized float64   `json:"quadrantShareOptimized"`
+	}{r.ID, r.Title, r.MC, r.MeshX, r.Original, r.Optimized,
+		r.QuadrantShareOriginal, r.QuadrantShareOptimized})
+}
+
+// MarshalJSON renders the Figure 15 CDFs.
+func (r *CDFResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID          string    `json:"id"`
+		Title       string    `json:"title"`
+		OnChipBase  []float64 `json:"onchipOriginal"`
+		OnChipOpt   []float64 `json:"onchipOptimized"`
+		OffChipBase []float64 `json:"offchipOriginal"`
+		OffChipOpt  []float64 `json:"offchipOptimized"`
+	}{r.ID, r.Title, r.OnChipBase, r.OnChipOpt, r.OffChipBase, r.OffChipOpt})
+}
+
+// MarshalJSON renders the Figure 25 mixes.
+func (r *MixResult) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Mix         string  `json:"mix"`
+		WSBaseline  float64 `json:"wsBaseline"`
+		WSOptimized float64 `json:"wsOptimized"`
+		Improvement float64 `json:"improvementPct"`
+	}
+	out := struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Rows  []row  `json:"rows"`
+	}{ID: r.ID, Title: r.Title}
+	for _, m := range r.Rows {
+		out.Rows = append(out.Rows, row{m.Mix, m.WSBaseline, m.WSOptimized, m.ImprovementP})
+	}
+	return json.Marshal(out)
+}
+
+// RunJSON executes one experiment by ID and returns its JSON encoding.
+func RunJSON(id string, cfg Config) ([]byte, error) {
+	var v json.Marshaler
+	var err error
+	switch id {
+	case "fig13":
+		v, err = Fig13(cfg)
+	case "fig15":
+		v, err = Fig15(cfg)
+	case "fig25":
+		v, err = Fig25(cfg)
+	default:
+		var f *FigResult
+		f, err = figByID(id, cfg)
+		v = f
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// figByID dispatches the FigResult-shaped experiments.
+func figByID(id string, cfg Config) (*FigResult, error) {
+	switch id {
+	case "fig3":
+		return Fig3(cfg)
+	case "fig4":
+		return Fig4(cfg)
+	case "table2":
+		return Table2(cfg)
+	case "fig14":
+		return Fig14(cfg)
+	case "fig16":
+		return Fig16(cfg)
+	case "fig17":
+		return Fig17(cfg)
+	case "fig18":
+		return Fig18(cfg)
+	case "fig19":
+		return Fig19(cfg)
+	case "fig20":
+		return Fig20(cfg)
+	case "fig21":
+		return Fig21(cfg)
+	case "fig22":
+		return Fig22(cfg)
+	case "fig23":
+		return Fig23(cfg)
+	case "fig24":
+		return Fig24(cfg)
+	default:
+		return nil, errUnknown(id)
+	}
+}
+
+func errUnknown(id string) error {
+	return &unknownExperimentError{id}
+}
+
+type unknownExperimentError struct{ id string }
+
+func (e *unknownExperimentError) Error() string {
+	return "experiments: unknown experiment " + e.id
+}

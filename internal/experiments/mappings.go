@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"offchip/internal/core"
+	"offchip/internal/layout"
+	"offchip/internal/sim"
+)
+
+// Fig17 reproduces Figure 17: execution time improvement under the two
+// L2-to-MC mappings of Figure 8 (M1: one controller per quadrant; M2: two
+// controllers per half). The paper's crossover — only the high-MLP
+// applications fma3d and minighost prefer M2 — is also checked by the
+// compiler analysis column (the chooser's pick).
+func Fig17(cfg Config) (*FigResult, error) {
+	m := layout.Default8x8()
+	p := layout.PlacementCorners(m.MeshX, m.MeshY)
+	m1, err := layout.MappingM1(m, p)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := layout.MappingM2(m, p)
+	if err != nil {
+		return nil, err
+	}
+	f, err := execSuite(cfg, "Fig17", "L2-to-MC mapping M1 vs M2",
+		[]variant{{"M1", m, m1}, {"M2", m, m2}}, cfg.coreOpts())
+	if err != nil {
+		return nil, err
+	}
+	// Third column: 1 when the compiler analysis of Section 4 picks M2.
+	f.Columns = append(f.Columns, "chooser=M2")
+	apps, _ := cfg.apps()
+	for i, app := range apps {
+		pick := layout.ChooseMapping([]*layout.ClusterMapping{m1, m2}, app.Demand, 4)
+		v := 0.0
+		if pick == m2 {
+			v = 1
+		}
+		f.Rows[i].Values = append(f.Rows[i].Values, v)
+	}
+	f.finish()
+	return f, nil
+}
+
+// Fig18 reproduces Figure 18: bank queue utilization (time-averaged queue
+// occupancy) per application under mapping M1, which explains why fma3d
+// and minighost prefer M2.
+func Fig18(cfg Config) (*FigResult, error) {
+	apps, err := cfg.apps()
+	if err != nil {
+		return nil, err
+	}
+	m, cm, err := defaultMachine(layout.LineInterleave)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigResult{
+		ID:      "Fig18",
+		Title:   "bank queue occupancy under M1 (optimized runs)",
+		Columns: []string{"queue-occupancy"},
+	}
+	opts := cfg.coreOpts()
+	for _, app := range apps {
+		_, optW, _, err := core.Workloads(app, m, cm, opts)
+		if err != nil {
+			return nil, err
+		}
+		simCfg := core.SimConfig(m, cm, opts)
+		r, err := sim.Run(simCfg, optW)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{r.AvgQueueOcc}})
+	}
+	f.finish()
+	return f, nil
+}
+
+// Fig19 reproduces Figure 19: execution time improvement under the three
+// memory controller placements (P1 corners, P2 diamond, P3 top/bottom).
+func Fig19(cfg Config) (*FigResult, error) {
+	m := layout.Default8x8()
+	var variants []variant
+	for _, p := range []*layout.MCPlacement{
+		layout.PlacementCorners(m.MeshX, m.MeshY),
+		layout.PlacementDiamond(m.MeshX, m.MeshY),
+		layout.PlacementTopBottom(m.MeshX, m.MeshY),
+	} {
+		cm, err := layout.MappingM1(m, p)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{p.Name, m, cm})
+	}
+	return execSuite(cfg, "Fig19", "MC placements P1/P2/P3", variants, cfg.coreOpts())
+}
+
+// Fig20 reproduces Figure 20: execution time improvement as the memory
+// controller count grows (4, 8, 16 controllers around the perimeter, one
+// per cluster as in Figure 27).
+func Fig20(cfg Config) (*FigResult, error) {
+	var variants []variant
+	for _, n := range []int{4, 8, 16} {
+		m := layout.Default8x8()
+		m.NumMCs = n
+		p, err := layout.PlacementPerimeter(m.MeshX, m.MeshY, n)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := layout.MappingM1(m, p)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{fmt.Sprintf("%dMC", n), m, cm})
+	}
+	return execSuite(cfg, "Fig20", "memory controller counts", variants, cfg.coreOpts())
+}
+
+// Fig21 reproduces Figure 21: execution time improvement on 4×4, 4×8, and
+// 8×8 meshes (four corner controllers each).
+func Fig21(cfg Config) (*FigResult, error) {
+	var variants []variant
+	for _, dims := range [][2]int{{4, 4}, {8, 4}, {8, 8}} {
+		m := layout.Default8x8()
+		m.MeshX, m.MeshY = dims[0], dims[1]
+		cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{fmt.Sprintf("%dx%d", dims[0], dims[1]), m, cm})
+	}
+	return execSuite(cfg, "Fig21", "mesh sizes", variants, cfg.coreOpts())
+}

@@ -1,0 +1,486 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a program in the textual affine-loop language:
+//
+//	program stencil
+//	param N = 256
+//	array Z[N][N]
+//	array idx[N] elem 4
+//
+//	parfor j = 1 .. N-1 {
+//	  for i = 1 .. N-1 {
+//	    Z[j][i] = Z[j-1][i] + Z[j][i] + Z[j+1][i]
+//	  }
+//	}
+//
+// Loops iterate over the half-open range [lo, hi). Exactly one loop per nest
+// is declared with parfor; nests must be perfectly nested (statements appear
+// only in the innermost loop). Subscripts are affine expressions over the
+// enclosing loop variables, or indexed reads through another array
+// (A[idx[i]]). '#' begins a comment that runs to end of line. Parameters are
+// compile-time constants substituted during parsing.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, params: map[string]int64{}}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse but panics on error; it is intended for the static
+// kernel definitions in internal/workloads and for tests.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokSym // single-rune symbol or ".."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		c := rs[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(c):
+			i++
+		case c == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(rs[i:j]), line: line})
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			v, err := strconv.ParseInt(string(rs[i:j]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad integer %q: %v", line, string(rs[i:j]), err)
+			}
+			toks = append(toks, token{kind: tokInt, text: string(rs[i:j]), val: v, line: line})
+			i = j
+		case c == '.':
+			if i+1 < len(rs) && rs[i+1] == '.' {
+				toks = append(toks, token{kind: tokSym, text: "..", line: line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected '.'", line)
+			}
+		case strings.ContainsRune("=+-*[]{}(),", c):
+			toks = append(toks, token{kind: tokSym, text: string(c), line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	params map[string]int64
+	prog   *Program
+	scope  []string // loop variables currently in scope, outermost first
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		return fmt.Errorf("line %d: expected %q, found %s", t.line, s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("line %d: expected identifier, found %s", t.line, t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	p.prog = &Program{}
+	if !p.atKeyword("program") {
+		return nil, p.errf("program must start with 'program <name>'")
+	}
+	p.next()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	p.prog.Name = name
+
+	for {
+		switch {
+		case p.atKeyword("param"):
+			if err := p.parseParam(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("array"):
+			if err := p.parseArray(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("for"), p.atKeyword("parfor"):
+			nest, err := p.parseNest()
+			if err != nil {
+				return nil, err
+			}
+			p.prog.Nests = append(p.prog.Nests, nest)
+		case p.peek().kind == tokEOF:
+			return p.prog, nil
+		default:
+			return nil, p.errf("expected param, array, for, or parfor, found %s", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseParam() error {
+	p.next() // param
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if !e.IsConst() {
+		return p.errf("param %s must be constant", name)
+	}
+	p.params[name] = e.Const
+	return nil
+}
+
+func (p *parser) parseArray() error {
+	p.next() // array
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.prog.Array(name) != nil {
+		return p.errf("array %s redeclared", name)
+	}
+	a := &Array{Name: name, ElemSize: DefaultElemSize}
+	for p.peek().kind == tokSym && p.peek().text == "[" {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if !e.IsConst() {
+			return p.errf("array %s dimension must be constant", name)
+		}
+		a.Dims = append(a.Dims, e.Const)
+		if err := p.expectSym("]"); err != nil {
+			return err
+		}
+	}
+	if len(a.Dims) == 0 {
+		return p.errf("array %s has no dimensions", name)
+	}
+	if p.atKeyword("elem") {
+		p.next()
+		t := p.next()
+		if t.kind != tokInt {
+			return fmt.Errorf("line %d: expected element size, found %s", t.line, t)
+		}
+		a.ElemSize = t.val
+	}
+	p.prog.Arrays = append(p.prog.Arrays, a)
+	return nil
+}
+
+func (p *parser) parseNest() (*LoopNest, error) {
+	nest := &LoopNest{ParDepth: -1}
+	if err := p.parseLoopInto(nest); err != nil {
+		return nil, err
+	}
+	if nest.ParDepth == -1 {
+		return nil, fmt.Errorf("nest starting with loop %q has no parfor level", nest.Loops[0].Var)
+	}
+	return nest, nil
+}
+
+func (p *parser) parseLoopInto(nest *LoopNest) error {
+	par := p.atKeyword("parfor")
+	p.next() // for | parfor
+	v, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(".."); err != nil {
+		return err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return err
+	}
+	if par {
+		if nest.ParDepth != -1 {
+			return p.errf("nest has more than one parfor level")
+		}
+		nest.ParDepth = len(nest.Loops)
+	}
+	nest.Loops = append(nest.Loops, Loop{Var: v, Lower: lo, Upper: hi})
+	p.scope = append(p.scope, v)
+	defer func() { p.scope = p.scope[:len(p.scope)-1] }()
+
+	if p.atKeyword("for") || p.atKeyword("parfor") {
+		if err := p.parseLoopInto(nest); err != nil {
+			return err
+		}
+		return p.expectSym("}")
+	}
+	for !(p.peek().kind == tokSym && p.peek().text == "}") {
+		if p.atKeyword("for") || p.atKeyword("parfor") {
+			return p.errf("imperfect nest: loop after statements")
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return err
+		}
+		nest.Body = append(nest.Body, s)
+	}
+	if len(nest.Body) == 0 {
+		return p.errf("innermost loop body is empty")
+	}
+	return p.expectSym("}")
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	w, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("="); err != nil {
+		return nil, err
+	}
+	s := &Statement{Write: w}
+	for {
+		// RHS terms: references; bare integer constants are permitted and
+		// ignored (they carry no layout information).
+		if p.peek().kind == tokInt {
+			p.next()
+		} else {
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			s.Reads = append(s.Reads, r)
+		}
+		if p.peek().kind == tokSym && (p.peek().text == "+" || p.peek().text == "-" || p.peek().text == "*") {
+			p.next()
+			continue
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) parseRef() (*Ref, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	arr := p.prog.Array(name)
+	if arr == nil {
+		return nil, p.errf("reference to undeclared array %s", name)
+	}
+	r := &Ref{Array: arr}
+	for p.peek().kind == tokSym && p.peek().text == "[" {
+		p.next()
+		// An indexed subscript begins with the name of another array
+		// followed by '['.
+		if t := p.peek(); t.kind == tokIdent && p.prog.Array(t.text) != nil &&
+			p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "[" {
+			idxName := p.next().text
+			p.next() // [
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+			if r.IndexSubs == nil {
+				r.IndexSubs = map[int]*IndexSub{}
+			}
+			r.IndexSubs[len(r.Subs)] = &IndexSub{IndexArray: p.prog.Array(idxName), Inner: inner}
+			r.Subs = append(r.Subs, ConstExpr(0))
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Subs = append(r.Subs, e)
+		}
+		if err := p.expectSym("]"); err != nil {
+			return nil, err
+		}
+	}
+	if len(r.Subs) == 0 {
+		return nil, p.errf("array %s referenced without subscripts", name)
+	}
+	return r, nil
+}
+
+// parseExpr parses an affine expression: term (('+'|'-') term)*.
+func (p *parser) parseExpr() (LinExpr, error) {
+	e, err := p.parseTerm(1)
+	if err != nil {
+		return LinExpr{}, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSym || (t.text != "+" && t.text != "-") {
+			return e, nil
+		}
+		p.next()
+		sign := int64(1)
+		if t.text == "-" {
+			sign = -1
+		}
+		f, err := p.parseTerm(sign)
+		if err != nil {
+			return LinExpr{}, err
+		}
+		e = e.Plus(f)
+	}
+}
+
+// parseTerm parses INT ['*' IDENT] | IDENT ['*' INT] | '-' term, applying
+// the given sign. Parameters evaluate to their constant values.
+func (p *parser) parseTerm(sign int64) (LinExpr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSym && t.text == "-":
+		return p.parseTerm(-sign)
+	case t.kind == tokInt:
+		if p.peek().kind == tokSym && p.peek().text == "*" {
+			p.next()
+			id, err := p.expectIdent()
+			if err != nil {
+				return LinExpr{}, err
+			}
+			if c, ok := p.params[id]; ok {
+				return ConstExpr(sign * t.val * c), nil
+			}
+			return Term(sign*t.val, id, 0), nil
+		}
+		return ConstExpr(sign * t.val), nil
+	case t.kind == tokIdent:
+		var base LinExpr
+		if c, ok := p.params[t.text]; ok {
+			base = ConstExpr(c)
+		} else {
+			base = VarExpr(t.text)
+		}
+		if p.peek().kind == tokSym && p.peek().text == "*" {
+			p.next()
+			f := p.next()
+			switch {
+			case f.kind == tokInt:
+				return base.Scaled(sign * f.val), nil
+			case f.kind == tokIdent:
+				if c, ok := p.params[f.text]; ok {
+					return base.Scaled(sign * c), nil
+				}
+				if base.IsConst() {
+					// param * loop-variable, e.g. N*i: still linear.
+					return VarExpr(f.text).Scaled(sign * base.Const), nil
+				}
+				return LinExpr{}, fmt.Errorf("line %d: nonlinear term %s*%s", f.line, t.text, f.text)
+			default:
+				return LinExpr{}, fmt.Errorf("line %d: expected factor after '*', found %s", f.line, f)
+			}
+		}
+		return base.Scaled(sign), nil
+	default:
+		return LinExpr{}, fmt.Errorf("line %d: expected expression, found %s", t.line, t)
+	}
+}

@@ -1,0 +1,46 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program back in the affine-loop language. The output
+// round-trips through Parse (up to parameter substitution, which the parser
+// performs eagerly).
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		if a.ElemSize != DefaultElemSize {
+			fmt.Fprintf(&b, " elem %d", a.ElemSize)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range p.Nests {
+		b.WriteByte('\n')
+		writeNest(&b, n)
+	}
+	return b.String()
+}
+
+func writeNest(b *strings.Builder, n *LoopNest) {
+	for d, l := range n.Loops {
+		kw := "for"
+		if d == n.ParDepth {
+			kw = "parfor"
+		}
+		fmt.Fprintf(b, "%s%s %s = %s .. %s {\n", strings.Repeat("  ", d), kw, l.Var, l.Lower, l.Upper)
+	}
+	ind := strings.Repeat("  ", len(n.Loops))
+	for _, s := range n.Body {
+		fmt.Fprintf(b, "%s%s\n", ind, s)
+	}
+	for d := len(n.Loops) - 1; d >= 0; d-- {
+		fmt.Fprintf(b, "%s}\n", strings.Repeat("  ", d))
+	}
+}

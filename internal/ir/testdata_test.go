@@ -1,0 +1,25 @@
+package ir_test
+
+import (
+	"os"
+	"testing"
+
+	"offchip/internal/ir"
+)
+
+// TestSampleKernelParses keeps cmd/offchip's sample kernel valid: it is the
+// documented entry point for -src users.
+func TestSampleKernelParses(t *testing.T) {
+	src, err := os.ReadFile("../../cmd/offchip/testdata/stencil.alc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "stencil" || len(p.Nests) != 1 || len(p.Arrays) != 2 {
+		t.Errorf("unexpected sample shape: %s, %d nests, %d arrays",
+			p.Name, len(p.Nests), len(p.Arrays))
+	}
+}

@@ -1,0 +1,63 @@
+package layout
+
+import "math"
+
+// DemandProfile summarizes how hungrily a program issues off-chip requests,
+// the input to the mapping chooser. It corresponds to the bank-queue
+// pressure the paper measures in Figure 18: fma3d and minighost have much
+// higher concurrent demand than the other applications, which is why they
+// alone prefer mapping M2.
+type DemandProfile struct {
+	// ConcurrentRequests is the expected number of off-chip requests a
+	// cluster's cores keep in flight simultaneously.
+	ConcurrentRequests float64
+	// BankServiceHops expresses one bank service time in units of per-hop
+	// network latency, converting queueing delay into the same currency as
+	// distance-to-MC. The paper's Table 1 parameters (≈40-cycle row hit vs
+	// 4-cycle hops) give ≈10.
+	BankServiceHops float64
+}
+
+// DefaultDemand returns a profile typical of the low-MLP applications.
+func DefaultDemand() DemandProfile {
+	return DemandProfile{ConcurrentRequests: 4, BankServiceHops: 10}
+}
+
+// MappingCost estimates the average cost (in hop-latency units) of an
+// off-chip request under the mapping: the locality term (mean distance to
+// the cluster's controllers) plus the queueing term (expected waits when
+// the cluster's concurrent demand exceeds the parallelism of its
+// controllers' banks). banksPerMC comes from the DRAM configuration.
+func MappingCost(cm *ClusterMapping, d DemandProfile, banksPerMC int) float64 {
+	locality := cm.AvgDistToMC()
+	capacity := float64(cm.K * banksPerMC)
+	// Saturation model: the cluster's banks serve up to `capacity` requests
+	// concurrently for free; each excess request waits, on average, its
+	// share of a bank service time. Below saturation locality dominates
+	// (most applications prefer M1); past it the extra controllers of M2
+	// pay for their longer distances (fma3d, minighost).
+	excess := d.ConcurrentRequests - capacity
+	if excess < 0 {
+		excess = 0
+	}
+	wait := excess / capacity
+	return locality + d.BankServiceHops*wait
+}
+
+// ChooseMapping implements the compiler analysis of Section 4: given a set
+// of candidate L2-to-MC mappings supplied by the user, pick the one with
+// the lowest estimated request cost under the program's demand profile.
+// It returns nil for an empty candidate set.
+func ChooseMapping(cands []*ClusterMapping, d DemandProfile, banksPerMC int) *ClusterMapping {
+	var best *ClusterMapping
+	bestCost := math.Inf(1)
+	for _, cm := range cands {
+		if cm == nil {
+			continue
+		}
+		if c := MappingCost(cm, d, banksPerMC); c < bestCost {
+			best, bestCost = cm, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,195 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"offchip/internal/ir"
+	"offchip/internal/linalg"
+)
+
+// refInfo is one reference to the array under optimization, with the data it
+// contributes to the Data-to-Core analysis.
+type refInfo struct {
+	ref     *ir.Ref
+	nest    *ir.LoopNest
+	access  *linalg.Mat // A
+	sub     *linalg.Mat // B = A without the iteration-partition column u
+	parCol  linalg.Vec  // A·e_u, the column dropped to form B
+	weight  int64       // estimated dynamic occurrences (product of trip counts)
+	indexed bool        // true if the reference needed §5.4 approximation
+}
+
+// DataToCore is the result of the Data-to-Core mapping step for one array:
+// the unimodular transformation U (whose row v = 0, the slowest-varying
+// dimension, is the solved gᵥ), plus bookkeeping for Table 2.
+type DataToCore struct {
+	Array *ir.Array
+	U     *linalg.Mat
+	Gv    linalg.Vec
+
+	// Satisfied is the weighted fraction of references whose submatrix
+	// constraint Bᵀ·gᵥ = 0 holds under the chosen gᵥ — the "references
+	// satisfied" column of Table 2.
+	Satisfied float64
+
+	// TotalWeight and SatisfiedWeight are the absolute weighted reference
+	// counts behind Satisfied.
+	TotalWeight, SatisfiedWeight int64
+}
+
+// ErrNotOptimizable reports why an array was left in its original layout.
+type ErrNotOptimizable struct {
+	Array  *ir.Array
+	Reason string
+}
+
+func (e *ErrNotOptimizable) Error() string {
+	return fmt.Sprintf("layout: array %s not optimizable: %s", e.Array.Name, e.Reason)
+}
+
+// dataPartitionDim is v, the data-partitioning dimension. It is always the
+// slowest-varying dimension (dimension 0 in our row-major IR) to minimize
+// padding overhead (footnote 3 of the paper).
+const dataPartitionDim = 0
+
+// collectRefs gathers the analysis inputs for every reference to arr,
+// resolving indexed references through the supplied approximator (which may
+// be nil, in which case indexed references are skipped — they count toward
+// the total weight but can never be satisfied).
+func collectRefs(p *ir.Program, arr *ir.Array, approx Approximator) []refInfo {
+	var out []refInfo
+	for _, rn := range p.RefsTo(arr) {
+		vars := rn.Nest.Vars()
+		u := rn.Nest.ParDepth
+		weight := rn.Nest.TripCount()
+		info := refInfo{ref: rn.Ref, nest: rn.Nest, weight: weight, indexed: rn.Ref.Indexed()}
+		if rn.Ref.Indexed() {
+			if approx == nil {
+				out = append(out, info) // unsatisfiable, still weighted
+				continue
+			}
+			a, ok := approx.Approximate(rn.Ref, rn.Nest)
+			if !ok {
+				out = append(out, info)
+				continue
+			}
+			info.access = a
+		} else {
+			a, _ := rn.Ref.AccessMatrix(vars)
+			info.access = a
+		}
+		info.sub = info.access.DropCol(u)
+		info.parCol = info.access.Col(u)
+		out = append(out, info)
+	}
+	return out
+}
+
+// Approximator supplies an affine access matrix for an indexed reference
+// (Section 5.4). Approximate returns false when the fit error exceeds the
+// acceptance threshold, in which case the reference is left unoptimized.
+type Approximator interface {
+	Approximate(r *ir.Ref, nest *ir.LoopNest) (*linalg.Mat, bool)
+}
+
+// dataToCore runs the Data-to-Core mapping step (Algorithm 1, lines 1–32)
+// for one array: group references by submatrix B, pick the heaviest group,
+// solve Bᵀ·gᵥ = 0, and complete gᵥ to a unimodular U.
+func dataToCore(p *ir.Program, arr *ir.Array, approx Approximator) (*DataToCore, error) {
+	refs := collectRefs(p, arr, approx)
+	if len(refs) == 0 {
+		return nil, &ErrNotOptimizable{arr, "no references"}
+	}
+	var total int64
+	type group struct {
+		key    string
+		weight int64
+		rep    refInfo
+	}
+	groups := map[string]*group{}
+	for _, ri := range refs {
+		total += ri.weight
+		if ri.access == nil {
+			continue // indexed reference with no acceptable approximation
+		}
+		key := ri.sub.String()
+		g := groups[key]
+		if g == nil {
+			g = &group{key: key, rep: ri}
+			groups[key] = g
+		}
+		g.weight += ri.weight
+	}
+	if len(groups) == 0 {
+		return nil, &ErrNotOptimizable{arr, "only unapproximable indexed or pointer references"}
+	}
+
+	// Deterministically pick the heaviest submatrix group (ties by key).
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].weight != ordered[j].weight {
+			return ordered[i].weight > ordered[j].weight
+		}
+		return ordered[i].key < ordered[j].key
+	})
+
+	// Walk groups from heaviest: the first whose linear system has a
+	// non-trivial solution that actually separates threads wins.
+	for _, g := range ordered {
+		gv := linalg.SolveHomogeneous(g.rep.sub.Transpose())
+		if gv == nil {
+			continue
+		}
+		// The partition must distinguish iterations of different threads:
+		// gᵥ·(A·e_u) ≠ 0, otherwise all threads land on one hyperplane.
+		if gv.Dot(g.rep.parCol) == 0 {
+			continue
+		}
+		// Orient gᵥ so the partition dimension grows with the parallel
+		// iterator: thread chunk order then matches data block order.
+		if gv.Dot(g.rep.parCol) < 0 {
+			gv = gv.Scale(-1)
+		}
+		u, err := buildU(gv)
+		if err != nil {
+			continue
+		}
+		d2c := &DataToCore{Array: arr, U: u, Gv: gv, TotalWeight: total}
+		for _, ri := range refs {
+			if ri.access == nil {
+				continue
+			}
+			if ri.indexed {
+				// A profile-approximated reference is satisfied when the
+				// chosen partition follows its fitted parallel dimension;
+				// the residual (halo) error is already bounded by the
+				// approximation acceptance threshold (Section 5.4).
+				if gv.Dot(ri.parCol) != 0 {
+					d2c.SatisfiedWeight += ri.weight
+				}
+				continue
+			}
+			if ri.sub.Transpose().MulVec(gv).IsZero() && gv.Dot(ri.parCol) != 0 {
+				d2c.SatisfiedWeight += ri.weight
+			}
+		}
+		if total > 0 {
+			d2c.Satisfied = float64(d2c.SatisfiedWeight) / float64(total)
+		}
+		return d2c, nil
+	}
+	return nil, &ErrNotOptimizable{arr, "no submatrix admits a thread-separating hyperplane"}
+}
+
+// buildU completes gᵥ to a unimodular U with row dataPartitionDim = gᵥ.
+// If the completion's determinant check fails (it cannot, for a primitive
+// gᵥ), the Hermite-normal-form correction of Algorithm 1 lines 10–13 would
+// apply; UnimodularCompletion already guarantees det ±1. The caller has
+// already oriented gᵥ, so its sign is preserved here.
+func buildU(gv linalg.Vec) (*linalg.Mat, error) {
+	return linalg.UnimodularCompletion(gv, dataPartitionDim)
+}

@@ -1,0 +1,291 @@
+package layout
+
+import (
+	"fmt"
+
+	"offchip/internal/mesh"
+)
+
+// MCPlacement assigns each memory controller ID a node on the mesh. MC IDs
+// are the logical IDs selected by the physical-address interleaving bits
+// (MC of a unit-granularity address a is a mod NumMCs); the placement
+// decides where each ID's controller physically sits. Constructors order
+// IDs so that ID i is near cluster i·k of the row-major cluster grid, which
+// is the paper's convention of binding thread order to MC order
+// (footnote 5).
+type MCPlacement struct {
+	Name  string
+	Nodes []mesh.Node // node of MC i
+}
+
+// NumMCs returns the number of controllers.
+func (p *MCPlacement) NumMCs() int { return len(p.Nodes) }
+
+// NodeOf returns the mesh node of controller mc.
+func (p *MCPlacement) NodeOf(mc int) mesh.Node { return p.Nodes[mc] }
+
+// Dist returns the hop distance from a node to controller mc.
+func (p *MCPlacement) Dist(n mesh.Node, mc int) int {
+	return mesh.Dist(n, p.Nodes[mc])
+}
+
+// NearestMC returns the controller with minimum hop distance from n
+// (lowest ID on ties).
+func (p *MCPlacement) NearestMC(n mesh.Node) int {
+	best, bestD := 0, 1<<30
+	for i, m := range p.Nodes {
+		if d := mesh.Dist(n, m); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Validate checks that every MC node is on the mesh and distinct.
+func (p *MCPlacement) Validate(meshX, meshY int) error {
+	seen := map[mesh.Node]bool{}
+	for i, n := range p.Nodes {
+		if n.X < 0 || n.X >= meshX || n.Y < 0 || n.Y >= meshY {
+			return fmt.Errorf("layout: MC%d at %v outside %dx%d mesh", i, n, meshX, meshY)
+		}
+		if seen[n] {
+			return fmt.Errorf("layout: two MCs share node %v", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// PlacementCorners is placement P1 (Figure 8a): four controllers in the
+// mesh corners, IDs in row-major corner order (TL, TR, BL, BR) so that each
+// quadrant cluster's ID-matched controller is its nearest.
+func PlacementCorners(meshX, meshY int) *MCPlacement {
+	return &MCPlacement{
+		Name: "P1-corners",
+		Nodes: []mesh.Node{
+			{X: 0, Y: 0},
+			{X: meshX - 1, Y: 0},
+			{X: 0, Y: meshY - 1},
+			{X: meshX - 1, Y: meshY - 1},
+		},
+	}
+}
+
+// PlacementDiamond is placement P2 (Figure 26a): controllers at the edge
+// midpoints in a diamond, which minimizes the average distance-to-controller
+// across the chip.
+func PlacementDiamond(meshX, meshY int) *MCPlacement {
+	return &MCPlacement{
+		Name: "P2-diamond",
+		Nodes: []mesh.Node{
+			{X: meshX/2 - 1, Y: 0},         // top, serving the TL quadrant
+			{X: meshX - 1, Y: meshY/2 - 1}, // right, serving the TR quadrant
+			{X: 0, Y: meshY / 2},           // left, serving the BL quadrant
+			{X: meshX / 2, Y: meshY - 1},   // bottom, serving the BR quadrant
+		},
+	}
+}
+
+// PlacementTopBottom is placement P3 (Figure 26b): controllers spread along
+// the top and bottom edges.
+func PlacementTopBottom(meshX, meshY int) *MCPlacement {
+	return &MCPlacement{
+		Name: "P3-topbottom",
+		Nodes: []mesh.Node{
+			{X: meshX / 4, Y: 0},
+			{X: 3 * meshX / 4, Y: 0},
+			{X: meshX / 4, Y: meshY - 1},
+			{X: 3 * meshX / 4, Y: meshY - 1},
+		},
+	}
+}
+
+// PlacementPerimeter distributes n controllers around the chip perimeter,
+// each placed at the free perimeter node nearest the center of cluster i of
+// an n-cluster row-major grid (used for the 8- and 16-MC configurations of
+// Figure 27).
+func PlacementPerimeter(meshX, meshY, n int) (*MCPlacement, error) {
+	cx, cy, err := clusterGrid(meshX, meshY, n)
+	if err != nil {
+		return nil, err
+	}
+	var per []mesh.Node
+	for x := 0; x < meshX; x++ {
+		per = append(per, mesh.Node{X: x, Y: 0}, mesh.Node{X: x, Y: meshY - 1})
+	}
+	for y := 1; y < meshY-1; y++ {
+		per = append(per, mesh.Node{X: 0, Y: y}, mesh.Node{X: meshX - 1, Y: y})
+	}
+	used := map[mesh.Node]bool{}
+	p := &MCPlacement{Name: fmt.Sprintf("perimeter-%d", n)}
+	tw, th := meshX/cx, meshY/cy
+	for ord := 0; ord < n; ord++ {
+		ctr := mesh.Node{
+			X: (ord%cx)*tw + tw/2,
+			Y: (ord/cx)*th + th/2,
+		}
+		best, bestD := mesh.Node{X: -1}, 1<<30
+		for _, cand := range per {
+			if used[cand] {
+				continue
+			}
+			if d := mesh.Dist(ctr, cand); d < bestD {
+				best, bestD = cand, d
+			}
+		}
+		if best.X == -1 {
+			return nil, fmt.Errorf("layout: perimeter exhausted placing %d MCs on %dx%d", n, meshX, meshY)
+		}
+		used[best] = true
+		p.Nodes = append(p.Nodes, best)
+	}
+	return p, nil
+}
+
+// ClusterMapping is a valid L2-to-MC mapping (Section 4): the mesh is tiled
+// into ClustersX×ClustersY equal rectangular clusters of cores; cluster ord
+// (row-major) is served by the K controllers with IDs ord·K … ord·K+K−1.
+// Both validity constraints of the paper hold by construction: every cluster
+// contains the same number of cores and is assigned the same number of
+// controllers.
+type ClusterMapping struct {
+	Name                 string
+	MeshX, MeshY         int
+	ClustersX, ClustersY int
+	K                    int // MCs per cluster
+	Placement            *MCPlacement
+}
+
+// NumClusters returns ClustersX·ClustersY.
+func (c *ClusterMapping) NumClusters() int { return c.ClustersX * c.ClustersY }
+
+// NumMCs returns the total controller count of the mapping.
+func (c *ClusterMapping) NumMCs() int { return c.NumClusters() * c.K }
+
+// CoresPerCluster returns the number of cores in each cluster.
+func (c *ClusterMapping) CoresPerCluster() int {
+	return (c.MeshX / c.ClustersX) * (c.MeshY / c.ClustersY)
+}
+
+// ClusterOf returns the row-major cluster ordinal of a core ID.
+func (c *ClusterMapping) ClusterOf(core int) int {
+	n := mesh.CoordOf(core, c.MeshX)
+	tw, th := c.MeshX/c.ClustersX, c.MeshY/c.ClustersY
+	return (n.Y/th)*c.ClustersX + n.X/tw
+}
+
+// MCsOf returns the controller IDs serving cluster ord.
+func (c *ClusterMapping) MCsOf(ord int) []int {
+	mcs := make([]int, c.K)
+	for j := range mcs {
+		mcs[j] = ord*c.K + j
+	}
+	return mcs
+}
+
+// DesiredMCOf returns the first (primary) controller of a core's cluster.
+func (c *ClusterMapping) DesiredMCOf(core int) int {
+	return c.ClusterOf(core) * c.K
+}
+
+// Validate checks the two validity constraints and placement consistency.
+func (c *ClusterMapping) Validate() error {
+	if c.ClustersX <= 0 || c.ClustersY <= 0 || c.K <= 0 {
+		return fmt.Errorf("layout: mapping %s has non-positive shape", c.Name)
+	}
+	if c.MeshX%c.ClustersX != 0 || c.MeshY%c.ClustersY != 0 {
+		return fmt.Errorf("layout: mapping %s: %dx%d mesh not tiled evenly by %dx%d clusters",
+			c.Name, c.MeshX, c.MeshY, c.ClustersX, c.ClustersY)
+	}
+	if c.Placement == nil {
+		return fmt.Errorf("layout: mapping %s has no MC placement", c.Name)
+	}
+	if c.Placement.NumMCs() != c.NumMCs() {
+		return fmt.Errorf("layout: mapping %s assigns %d MCs but placement has %d",
+			c.Name, c.NumMCs(), c.Placement.NumMCs())
+	}
+	return c.Placement.Validate(c.MeshX, c.MeshY)
+}
+
+// AvgDistToMC returns the mean hop distance from each core to the
+// controllers of its cluster — the locality half of the locality-vs-MLP
+// trade-off the mapping chooser weighs.
+func (c *ClusterMapping) AvgDistToMC() float64 {
+	total, count := 0, 0
+	for core := 0; core < c.MeshX*c.MeshY; core++ {
+		n := mesh.CoordOf(core, c.MeshX)
+		for _, mc := range c.MCsOf(c.ClusterOf(core)) {
+			total += c.Placement.Dist(n, mc)
+			count++
+		}
+	}
+	return float64(total) / float64(count)
+}
+
+// clusterGrid factors n into a cx×cy grid as close to the mesh aspect ratio
+// as possible, preferring wider-than-tall on square meshes.
+func clusterGrid(meshX, meshY, n int) (cx, cy int, err error) {
+	best := -1
+	for x := 1; x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		y := n / x
+		if meshX%x != 0 || meshY%y != 0 {
+			continue
+		}
+		// Prefer the squarest tiling of the mesh.
+		tw, th := meshX/x, meshY/y
+		d := tw - th
+		if d < 0 {
+			d = -d
+		}
+		if best == -1 || d < best {
+			best, cx, cy = d, x, y
+		}
+	}
+	if best == -1 {
+		return 0, 0, fmt.Errorf("layout: cannot tile %dx%d mesh into %d clusters", meshX, meshY, n)
+	}
+	return cx, cy, nil
+}
+
+// MappingM1 is the default L2-to-MC mapping of Figure 8a: one controller
+// per cluster (K = 1), clusters tiling the mesh in a near-square grid, each
+// cluster served by its own (nearest, under the matching placement)
+// controller. It maximizes locality.
+func MappingM1(m Machine, p *MCPlacement) (*ClusterMapping, error) {
+	cx, cy, err := clusterGrid(m.MeshX, m.MeshY, m.NumMCs)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClusterMapping{
+		Name:  "M1",
+		MeshX: m.MeshX, MeshY: m.MeshY,
+		ClustersX: cx, ClustersY: cy,
+		K:         1,
+		Placement: p,
+	}
+	return c, c.Validate()
+}
+
+// MappingM2 is the alternate mapping of Figure 8b: two controllers per
+// cluster (K = 2), so each core's requests spread over two controllers.
+// It trades locality for memory-level parallelism.
+func MappingM2(m Machine, p *MCPlacement) (*ClusterMapping, error) {
+	if m.NumMCs%2 != 0 {
+		return nil, fmt.Errorf("layout: M2 needs an even MC count, have %d", m.NumMCs)
+	}
+	cx, cy, err := clusterGrid(m.MeshX, m.MeshY, m.NumMCs/2)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClusterMapping{
+		Name:  "M2",
+		MeshX: m.MeshX, MeshY: m.MeshY,
+		ClustersX: cx, ClustersY: cy,
+		K:         2,
+		Placement: p,
+	}
+	return c, c.Validate()
+}

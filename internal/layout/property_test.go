@@ -1,0 +1,160 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"offchip/internal/ir"
+)
+
+// TestPropOffsetBijective drives the central layout invariant across random
+// machine configurations, cache kinds, and array shapes: the customized
+// layout must be a bijection from elements to distinct, aligned offsets
+// inside the declared footprint — a data transformation is a renaming, so
+// nothing may collide and nothing may escape the allocation.
+func TestPropOffsetBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+
+		meshes := [][2]int{{4, 4}, {8, 4}, {8, 8}}
+		mesh := meshes[r.Intn(len(meshes))]
+		m := Machine{
+			MeshX: mesh[0], MeshY: mesh[1],
+			NumMCs:          4,
+			LineBytes:       64,
+			InterleaveBytes: 256,
+			PageBytes:       4096,
+			L2:              CacheKind(r.Intn(2)),
+			Interleave:      LineInterleave,
+		}
+		if m.L2 == PrivateL2 && r.Intn(2) == 0 {
+			m.Interleave = PageInterleave
+		}
+		cm, err := MappingM1(m, PlacementCorners(m.MeshX, m.MeshY))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Random 2-D array, sometimes transposed access to exercise U ≠ I.
+		d0 := int64(16 + r.Intn(200))
+		d1 := int64(8 + r.Intn(64))
+		dims := fmt.Sprintf("[%d][%d]", d0, d1)
+		var src string
+		if r.Intn(2) == 0 {
+			// Transposed: the parallel i walks A's fastest dimension.
+			src = fmt.Sprintf(`
+program prop
+array A%s
+parfor i = 0 .. %d {
+  for j = 0 .. %d {
+    A[j][i] = A[j][i]
+  }
+}
+`, dims, d1, d0)
+		} else {
+			src = fmt.Sprintf(`
+program prop
+array A%s
+parfor i = 0 .. %d {
+  for j = 0 .. %d {
+    A[i][j] = A[i][j]
+  }
+}
+`, dims, d0, d1)
+		}
+		p, err := ir.Parse(src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		res, err := Optimize(p, m, cm, nil)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		arr := p.Arrays[0]
+		al := res.Layout(arr)
+		if !al.Optimized {
+			t.Logf("seed %d: not optimized: %s", seed, al.Reason)
+			return false
+		}
+		seen := make(map[int64]bool, arr.NumElems())
+		for _, c := range elements(arr) {
+			off := al.Offset(c)
+			if off < 0 || off >= al.SizeBytes() {
+				t.Logf("seed %d: offset %d outside [0,%d)", seed, off, al.SizeBytes())
+				return false
+			}
+			if off%arr.ElemSize != 0 {
+				t.Logf("seed %d: misaligned offset %d", seed, off)
+				return false
+			}
+			if seen[off] {
+				t.Logf("seed %d: collision at %d (coord %v, dims %s, mesh %v, l2 %v)",
+					seed, off, c, dims, mesh, m.L2)
+				return false
+			}
+			seen[off] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDesiredMCConsistent checks that DesiredMC always names a real
+// controller for optimized arrays, and that under line interleaving it
+// matches the hardware's interleave decision at offset granularity.
+func TestPropDesiredMCConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Default8x8()
+		cm, err := MappingM1(m, PlacementCorners(8, 8))
+		if err != nil {
+			return false
+		}
+		d0 := int64(64 + r.Intn(128))
+		src := fmt.Sprintf(`
+program prop
+array A[%d][32]
+parfor i = 0 .. %d {
+  for j = 0 .. 32 {
+    A[i][j] = A[i][j]
+  }
+}
+`, d0, d0)
+		p, err := ir.Parse(src)
+		if err != nil {
+			return false
+		}
+		res, err := Optimize(p, m, cm, nil)
+		if err != nil {
+			return false
+		}
+		arr := p.Arrays[0]
+		al := res.Layout(arr)
+		if !al.Optimized {
+			return false
+		}
+		for _, c := range elements(arr) {
+			off := al.Offset(c)
+			mc := al.DesiredMC(off)
+			if mc < 0 || mc >= m.NumMCs {
+				t.Logf("seed %d: DesiredMC %d", seed, mc)
+				return false
+			}
+			if got := int((off / m.LineUnit()) % int64(m.NumMCs)); got != mc {
+				t.Logf("seed %d: interleave sends offset %d to MC%d, layout wants MC%d",
+					seed, off, got, mc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

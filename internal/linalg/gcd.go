@@ -1,0 +1,82 @@
+package linalg
+
+// GCD returns the non-negative greatest common divisor of a and b.
+// GCD(0, 0) is 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDAll returns the non-negative GCD of all entries (0 for an empty or
+// all-zero input).
+func GCDAll(xs ...int64) int64 {
+	var g int64
+	for _, x := range xs {
+		g = GCD(g, x)
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
+}
+
+// ExtGCD returns (g, x, y) with g = gcd(a, b) >= 0 and a·x + b·y = g.
+func ExtGCD(a, b int64) (g, x, y int64) {
+	oldR, r := a, b
+	oldX, xx := int64(1), int64(0)
+	oldY, yy := int64(0), int64(1)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldX, xx = xx, oldX-q*xx
+		oldY, yy = yy, oldY-q*yy
+	}
+	if oldR < 0 {
+		oldR, oldX, oldY = -oldR, -oldX, -oldY
+	}
+	return oldR, oldX, oldY
+}
+
+// LCM returns the non-negative least common multiple of a and b.
+// LCM(0, x) is 0.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	l := a / GCD(a, b) * b
+	if l < 0 {
+		l = -l
+	}
+	return l
+}
+
+// FloorDiv returns ⌊a/b⌋ for b > 0 (division rounded toward negative
+// infinity, unlike Go's truncated division).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Mod returns the mathematical a mod b in [0, |b|) for b != 0.
+func Mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		if b < 0 {
+			m -= b
+		} else {
+			m += b
+		}
+	}
+	return m
+}

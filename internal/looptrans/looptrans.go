@@ -1,0 +1,192 @@
+// Package looptrans provides the loop restructurings the paper's node
+// compiler applies before the layout pass (Section 6.1: "enabling basically
+// all major loop restructurings … such as loop permutation and iteration
+// space tiling"): dependence-checked loop interchange and strip-mining of a
+// loop into a block/offset pair. Transformations return new nests; the
+// originals are never mutated, and every transform preserves the iteration
+// set (property-tested).
+package looptrans
+
+import (
+	"fmt"
+
+	"offchip/internal/deps"
+	"offchip/internal/ir"
+)
+
+// Interchange returns the nest with its loops reordered by perm
+// (perm[k] = index of the original loop now at depth k). It fails if the
+// permutation breaks a loop-bound dependence (a bound referencing a
+// variable that would move inside it) or a data dependence.
+func Interchange(nest *ir.LoopNest, perm []int) (*ir.LoopNest, error) {
+	m := nest.Depth()
+	if len(perm) != m {
+		return nil, fmt.Errorf("looptrans: permutation of length %d for depth %d", len(perm), m)
+	}
+	seen := make([]bool, m)
+	for _, p := range perm {
+		if p < 0 || p >= m || seen[p] {
+			return nil, fmt.Errorf("looptrans: invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	// Bound legality: each loop's bounds may only reference variables of
+	// loops placed before it in the new order.
+	pos := make([]int, m)
+	for k, p := range perm {
+		pos[p] = k
+	}
+	for li, l := range nest.Loops {
+		for v := range l.Lower.Coeffs {
+			if err := boundOK(nest, pos, li, v); err != nil {
+				return nil, err
+			}
+		}
+		for v := range l.Upper.Coeffs {
+			if err := boundOK(nest, pos, li, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Data-dependence legality.
+	if !deps.PermutationLegal(deps.NestDeps(nest), perm) {
+		return nil, fmt.Errorf("looptrans: permutation %v violates a data dependence", perm)
+	}
+	out := &ir.LoopNest{Body: nest.Body}
+	for _, p := range perm {
+		out.Loops = append(out.Loops, nest.Loops[p])
+		if p == nest.ParDepth {
+			out.ParDepth = len(out.Loops) - 1
+		}
+	}
+	return out, nil
+}
+
+func boundOK(nest *ir.LoopNest, pos []int, li int, v string) error {
+	for lj, other := range nest.Loops {
+		if other.Var == v {
+			if pos[lj] >= pos[li] {
+				return fmt.Errorf("looptrans: bound of %s references %s, which would no longer enclose it",
+					nest.Loops[li].Var, v)
+			}
+			return nil
+		}
+	}
+	return nil // loop-independent symbol
+}
+
+// MakeInnermost returns the nest with loop li moved to the innermost
+// position (the permutation loopOrder-style cache optimization uses).
+func MakeInnermost(nest *ir.LoopNest, li int) (*ir.LoopNest, error) {
+	m := nest.Depth()
+	if li < 0 || li >= m {
+		return nil, fmt.Errorf("looptrans: loop %d of %d", li, m)
+	}
+	perm := make([]int, 0, m)
+	for k := 0; k < m; k++ {
+		if k != li {
+			perm = append(perm, k)
+		}
+	}
+	return Interchange(nest, append(perm, li))
+}
+
+// StripMine splits loop li into a block loop and an offset loop of the
+// given size: for v = L..U becomes
+//
+//	for vB = 0 .. (U−L)/size { for v = L+size·vB .. L+size·(vB+1) { … } }
+//
+// Size must evenly divide the (constant) trip count — the representation
+// has no min() in bounds, and the paper's padding establishes divisibility
+// anyway. Subscripts are untouched (the original variable survives as the
+// inner loop), so the iteration set and the reference meanings are
+// preserved exactly. Strip-mining is always legal.
+func StripMine(nest *ir.LoopNest, li int, size int64) (*ir.LoopNest, error) {
+	m := nest.Depth()
+	if li < 0 || li >= m {
+		return nil, fmt.Errorf("looptrans: loop %d of %d", li, m)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("looptrans: strip size %d", size)
+	}
+	l := nest.Loops[li]
+	if !l.Lower.IsConst() || !l.Upper.IsConst() {
+		return nil, fmt.Errorf("looptrans: strip-mining needs constant bounds on %s", l.Var)
+	}
+	trip := l.Upper.Const - l.Lower.Const
+	if trip < 0 {
+		trip = 0
+	}
+	if trip%size != 0 {
+		return nil, fmt.Errorf("looptrans: size %d does not divide trip count %d of %s (pad first)",
+			size, trip, l.Var)
+	}
+	blockVar := l.Var + "_b"
+	for _, other := range nest.Loops {
+		if other.Var == blockVar {
+			return nil, fmt.Errorf("looptrans: variable %s already exists", blockVar)
+		}
+	}
+	out := &ir.LoopNest{Body: nest.Body, ParDepth: nest.ParDepth}
+	for k := 0; k < m; k++ {
+		if k == li {
+			out.Loops = append(out.Loops,
+				ir.Loop{
+					Var:   blockVar,
+					Lower: ir.ConstExpr(0),
+					Upper: ir.ConstExpr(trip / size),
+				},
+				ir.Loop{
+					Var:   l.Var,
+					Lower: ir.Term(size, blockVar, l.Lower.Const),
+					Upper: ir.Term(size, blockVar, l.Lower.Const+size),
+				})
+			continue
+		}
+		out.Loops = append(out.Loops, nest.Loops[k])
+	}
+	if nest.ParDepth > li {
+		out.ParDepth = nest.ParDepth + 1
+	}
+	if nest.ParDepth == li {
+		// Parallelism moves to the block loop: contiguous chunks of blocks,
+		// which is exactly OpenMP-static over the strip-mined loop.
+		out.ParDepth = li
+	}
+	return out, nil
+}
+
+// Tile strip-mines two adjacent loops and interchanges the offset loop of
+// the first with the block loop of the second, producing the classic
+// 2-D tiling (legal when the plain interchange of the two loops is legal).
+func Tile(nest *ir.LoopNest, li int, size1, size2 int64) (*ir.LoopNest, error) {
+	m := nest.Depth()
+	if li < 0 || li+1 >= m {
+		return nil, fmt.Errorf("looptrans: tiling needs loops %d,%d within depth %d", li, li+1, m)
+	}
+	// Tiling is legal iff interchanging the two loops is legal.
+	perm := make([]int, m)
+	for k := range perm {
+		perm[k] = k
+	}
+	perm[li], perm[li+1] = perm[li+1], perm[li]
+	if !deps.PermutationLegal(deps.NestDeps(nest), perm) {
+		return nil, fmt.Errorf("looptrans: tiling loops %d,%d violates a data dependence", li, li+1)
+	}
+	s1, err := StripMine(nest, li, size1)
+	if err != nil {
+		return nil, err
+	}
+	// After the first strip-mine the second loop sits at li+2.
+	s2, err := StripMine(s1, li+2, size2)
+	if err != nil {
+		return nil, err
+	}
+	// Order is now [.., i_b, i, j_b, j, ..]; swap i and j_b.
+	swap := make([]int, s2.Depth())
+	for k := range swap {
+		swap[k] = k
+	}
+	swap[li+1], swap[li+2] = swap[li+2], swap[li+1]
+	return Interchange(s2, swap)
+}

@@ -1,0 +1,144 @@
+package mem
+
+import (
+	"testing"
+
+	"offchip/internal/layout"
+)
+
+func pageCfg() Config {
+	return Config{
+		PageBytes:  4096,
+		LineBytes:  256,
+		NumMCs:     4,
+		Interleave: layout.PageInterleave,
+	}
+}
+
+func TestLineInterleaveIdentity(t *testing.T) {
+	cfg := pageCfg()
+	cfg.Interleave = layout.LineInterleave
+	as := NewAddressSpace(cfg, 0, NewInterleavedPolicy(4))
+	for _, v := range []int64{0, 255, 256, 123456} {
+		if p := as.Translate(v, 0, -1); p != v {
+			t.Errorf("Translate(%d) = %d under line interleaving", v, p)
+		}
+	}
+	// MC of consecutive lines cycles 0,1,2,3.
+	for i := int64(0); i < 8; i++ {
+		if mc := as.MCOf(i * 256); mc != int(i%4) {
+			t.Errorf("MCOf(line %d) = %d", i, mc)
+		}
+	}
+}
+
+func TestInterleavedPolicyRoundRobin(t *testing.T) {
+	as := NewAddressSpace(pageCfg(), 0, NewInterleavedPolicy(4))
+	for i := int64(0); i < 8; i++ {
+		p := as.Translate(i*4096, 0, -1)
+		if mc := as.MCOf(p); mc != int(i%4) {
+			t.Errorf("page %d allocated on MC%d, want %d", i, mc, i%4)
+		}
+	}
+	// Re-touching translates to the same page.
+	p1 := as.Translate(0, 0, -1)
+	p2 := as.Translate(100, 0, -1)
+	if p2 != p1+100 {
+		t.Errorf("retouch: %d vs %d", p1, p2)
+	}
+	if as.PagesAllocated() != 8 {
+		t.Errorf("pages allocated = %d", as.PagesAllocated())
+	}
+}
+
+func TestOSAssistedPolicyHonorsDesire(t *testing.T) {
+	as := NewAddressSpace(pageCfg(), 0, NewOSAssistedPolicy(4))
+	// All pages want MC2.
+	for i := int64(0); i < 5; i++ {
+		p := as.Translate(i*4096, 0, 2)
+		if mc := as.MCOf(p); mc != 2 {
+			t.Errorf("page %d on MC%d, want 2", i, mc)
+		}
+	}
+	if as.AllocOf(2) != 5 {
+		t.Errorf("MC2 alloc count = %d", as.AllocOf(2))
+	}
+	// No preference: falls back to round robin.
+	p := as.Translate(100*4096, 0, -1)
+	if mc := as.MCOf(p); mc != 0 {
+		t.Errorf("fallback page on MC%d", mc)
+	}
+}
+
+func TestFirstTouchPolicy(t *testing.T) {
+	// Cores 0-31 belong to MC0, 32-63 to MC1 (toy cluster function).
+	pol := &FirstTouchPolicy{MCOfCore: func(core int) int { return core / 32 }}
+	as := NewAddressSpace(pageCfg(), 0, pol)
+	p := as.Translate(0, 40, -1) // first touch by core 40
+	if mc := as.MCOf(p); mc != 1 {
+		t.Errorf("first-touch page on MC%d, want 1", mc)
+	}
+	// Later touches by other cores do not move it.
+	p2 := as.Translate(8, 0, -1)
+	if p2 != p+8 {
+		t.Errorf("page moved: %d vs %d", p, p2)
+	}
+}
+
+func TestSpillWhenMCFull(t *testing.T) {
+	cfg := pageCfg()
+	cfg.PagesPerMC = 2
+	as := NewAddressSpace(cfg, 0, NewOSAssistedPolicy(4))
+	for i := int64(0); i < 4; i++ {
+		as.Translate(i*4096, 0, 0) // all want MC0; only 2 fit
+	}
+	if as.AllocOf(0) != 2 {
+		t.Errorf("MC0 holds %d pages, cap 2", as.AllocOf(0))
+	}
+	if as.Spills != 2 {
+		t.Errorf("spills = %d, want 2", as.Spills)
+	}
+	if as.PagesAllocated() != 4 {
+		t.Errorf("total pages = %d (page faults!)", as.PagesAllocated())
+	}
+}
+
+func TestBaseIsolatesAddressSpaces(t *testing.T) {
+	cfg := pageCfg()
+	base := int64(1) << 30
+	a := NewAddressSpace(cfg, 0, NewInterleavedPolicy(4))
+	b := NewAddressSpace(cfg, base, NewInterleavedPolicy(4))
+	pa, pb := a.Translate(0, 0, -1), b.Translate(0, 0, -1)
+	if pa == pb {
+		t.Error("two address spaces collide")
+	}
+	// The base must not disturb MC selection.
+	if a.MCOf(pa) != b.MCOf(pb) {
+		t.Errorf("base changed MC: %d vs %d", a.MCOf(pa), b.MCOf(pb))
+	}
+}
+
+func TestBaseAlignmentChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned base accepted")
+		}
+	}()
+	NewAddressSpace(pageCfg(), 100, NewInterleavedPolicy(4))
+}
+
+func TestHomeBank(t *testing.T) {
+	if got := HomeBank(256*65, 256, 64); got != 1 {
+		t.Errorf("HomeBank = %d, want 1", got)
+	}
+	if got := HomeBank(0, 256, 64); got != 0 {
+		t.Errorf("HomeBank(0) = %d", got)
+	}
+}
+
+func TestMCOfPageInterleave(t *testing.T) {
+	cfg := pageCfg()
+	if got := MCOf(4096*5, cfg); got != 1 {
+		t.Errorf("MCOf = %d, want 1", got)
+	}
+}

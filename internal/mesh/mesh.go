@@ -1,0 +1,58 @@
+// Package mesh provides the 2-D mesh coordinate arithmetic shared by the
+// layout pass, the NoC model, and the manycore simulator: node coordinates,
+// core-ID numbering (row-major), and Manhattan (hop) distance under XY
+// dimension-order routing.
+package mesh
+
+import "fmt"
+
+// Node is a router/core position on the mesh.
+type Node struct {
+	X, Y int
+}
+
+func (n Node) String() string { return fmt.Sprintf("(%d,%d)", n.X, n.Y) }
+
+// Dist returns the Manhattan distance between two nodes: the number of links
+// a packet traverses between them under XY routing.
+func Dist(a, b Node) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CoreID returns the row-major core ID of a node on a width-meshX mesh.
+func CoreID(n Node, meshX int) int { return n.Y*meshX + n.X }
+
+// CoordOf returns the node of a row-major core ID on a width-meshX mesh.
+func CoordOf(id, meshX int) Node { return Node{X: id % meshX, Y: id / meshX} }
+
+// XYPath appends to dst the sequence of nodes a packet visits travelling
+// from src to dst under XY routing (X first, then Y), excluding src and
+// including the destination. An empty result means src == dst.
+func XYPath(src, dst Node) []Node {
+	var path []Node
+	cur := src
+	for cur.X != dst.X {
+		if cur.X < dst.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		path = append(path, cur)
+	}
+	for cur.Y != dst.Y {
+		if cur.Y < dst.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		path = append(path, cur)
+	}
+	return path
+}

@@ -1,0 +1,89 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Node
+		want int
+	}{
+		{Node{0, 0}, Node{0, 0}, 0},
+		{Node{0, 0}, Node{3, 0}, 3},
+		{Node{0, 0}, Node{0, 4}, 4},
+		{Node{1, 2}, Node{4, 6}, 7},
+		{Node{4, 6}, Node{1, 2}, 7}, // symmetric
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoreIDRoundTrip(t *testing.T) {
+	for id := 0; id < 64; id++ {
+		n := CoordOf(id, 8)
+		if got := CoreID(n, 8); got != id {
+			t.Errorf("round trip %d -> %v -> %d", id, n, got)
+		}
+	}
+	if (CoordOf(9, 8) != Node{X: 1, Y: 1}) {
+		t.Errorf("CoordOf(9) = %v", CoordOf(9, 8))
+	}
+}
+
+func TestXYPath(t *testing.T) {
+	// X first, then Y.
+	path := XYPath(Node{0, 0}, Node{2, 1})
+	want := []Node{{1, 0}, {2, 0}, {2, 1}}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+	if len(XYPath(Node{3, 3}, Node{3, 3})) != 0 {
+		t.Error("self path not empty")
+	}
+	// Negative directions.
+	back := XYPath(Node{2, 1}, Node{0, 0})
+	if len(back) != 3 || back[2] != (Node{0, 0}) {
+		t.Errorf("reverse path = %v", back)
+	}
+}
+
+func TestPropPathLengthEqualsDist(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Node{X: r.Intn(8), Y: r.Intn(8)}
+		b := Node{X: r.Intn(8), Y: r.Intn(8)}
+		path := XYPath(a, b)
+		if len(path) != Dist(a, b) {
+			return false
+		}
+		// Each step moves to an adjacent node; the path ends at b.
+		prev := a
+		for _, n := range path {
+			if Dist(prev, n) != 1 {
+				return false
+			}
+			prev = n
+		}
+		return len(path) == 0 || path[len(path)-1] == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if got := (Node{X: 3, Y: 5}).String(); got != "(3,5)" {
+		t.Errorf("String = %q", got)
+	}
+}

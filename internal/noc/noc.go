@@ -1,0 +1,186 @@
+// Package noc models the two-dimensional mesh network-on-chip: XY
+// dimension-order routing over point-to-point links with per-link FIFO
+// contention, a per-hop pipeline latency, and hop/latency accounting. It is
+// a packet-level model: a message reserves each link of its path in order
+// at send time, which captures the first-order contention behavior the
+// paper measures (off-chip and on-chip traffic fighting over the same
+// links) at a fraction of the cost of flit-level simulation.
+package noc
+
+import (
+	"fmt"
+
+	"offchip/internal/engine"
+	"offchip/internal/mesh"
+)
+
+// Config sets the network parameters (Table 1: 16-byte links, 2-cycle
+// router pipeline, 4-cycle per-hop latency, XY routing).
+type Config struct {
+	MeshX, MeshY int
+	// HopLatency is the pipeline latency a flit experiences per hop.
+	HopLatency int64
+	// LinkOccupancy is how long one message occupies each link (serialization
+	// time of a cache-line-sized packet over a 16 B link).
+	LinkOccupancy int64
+	// Contention disables link reservation when false (the ablation knob:
+	// an ideal network with pure distance latency).
+	Contention bool
+}
+
+// DefaultConfig returns the paper's Table 1 network for the given mesh.
+func DefaultConfig(meshX, meshY int) Config {
+	return Config{
+		MeshX: meshX, MeshY: meshY,
+		HopLatency:    4,
+		LinkOccupancy: 1,
+		Contention:    true,
+	}
+}
+
+// Class tags a message for the statistics split the paper reports:
+// on-chip accesses (cache-to-cache, L1-to-L2-bank, directory traffic)
+// versus off-chip accesses (to or from a memory controller).
+type Class int
+
+const (
+	OnChip Class = iota
+	OffChip
+)
+
+func (c Class) String() string {
+	if c == OnChip {
+		return "on-chip"
+	}
+	return "off-chip"
+}
+
+// Network is the mesh NoC.
+type Network struct {
+	cfg   Config
+	links []engine.Resource // directed links, indexed by linkIndex
+
+	// Stats, split by message class.
+	Messages [2]int64   // message count
+	Hops     [2]int64   // total hops
+	Latency  [2]int64   // total network cycles (incl. contention stalls)
+	HopsHist [2][]int64 // messages by hop count
+}
+
+// New builds a network. It panics on a non-positive mesh.
+func New(cfg Config) *Network {
+	if cfg.MeshX <= 0 || cfg.MeshY <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cfg.MeshX, cfg.MeshY))
+	}
+	maxHops := cfg.MeshX + cfg.MeshY // diameter + 1 slack
+	n := &Network{
+		cfg:   cfg,
+		links: make([]engine.Resource, cfg.MeshX*cfg.MeshY*4),
+	}
+	for c := range n.HopsHist {
+		n.HopsHist[c] = make([]int64, maxHops+1)
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+)
+
+// linkIndex identifies the directed link leaving `from` toward `to`
+// (adjacent nodes).
+func (n *Network) linkIndex(from, to mesh.Node) int {
+	base := mesh.CoreID(from, n.cfg.MeshX) * 4
+	switch {
+	case to.X == from.X+1:
+		return base + dirEast
+	case to.X == from.X-1:
+		return base + dirWest
+	case to.Y == from.Y+1:
+		return base + dirSouth
+	case to.Y == from.Y-1:
+		return base + dirNorth
+	default:
+		panic(fmt.Sprintf("noc: %v and %v are not adjacent", from, to))
+	}
+}
+
+// Transit sends a message from src to dst at time now, reserving each link
+// of the XY route in order, and returns the arrival time and hop count.
+// A zero-hop transit (src == dst) arrives immediately.
+func (n *Network) Transit(now int64, src, dst mesh.Node, class Class) (arrival int64, hops int) {
+	path := mesh.XYPath(src, dst)
+	t := now
+	prev := src
+	for _, next := range path {
+		if n.cfg.Contention {
+			li := n.linkIndex(prev, next)
+			start := n.links[li].Reserve(t, n.cfg.LinkOccupancy)
+			t = start + n.cfg.HopLatency
+		} else {
+			t += n.cfg.HopLatency
+		}
+		prev = next
+	}
+	hops = len(path)
+	n.Messages[class]++
+	n.Hops[class] += int64(hops)
+	n.Latency[class] += t - now
+	if hops < len(n.HopsHist[class]) {
+		n.HopsHist[class][hops]++
+	} else {
+		n.HopsHist[class][len(n.HopsHist[class])-1]++
+	}
+	return t, hops
+}
+
+// AvgLatency returns the mean network latency of the class (0 if unused).
+func (n *Network) AvgLatency(class Class) float64 {
+	if n.Messages[class] == 0 {
+		return 0
+	}
+	return float64(n.Latency[class]) / float64(n.Messages[class])
+}
+
+// AvgHops returns the mean hop count of the class (0 if unused).
+func (n *Network) AvgHops(class Class) float64 {
+	if n.Messages[class] == 0 {
+		return 0
+	}
+	return float64(n.Hops[class]) / float64(n.Messages[class])
+}
+
+// HopCDF returns the cumulative fraction of the class's messages that
+// traverse x or fewer links, for x = 0..len-1 (Figure 15).
+func (n *Network) HopCDF(class Class) []float64 {
+	hist := n.HopsHist[class]
+	out := make([]float64, len(hist))
+	var cum, total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range hist {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// ResetStats clears the accumulated statistics (links keep their horizon).
+func (n *Network) ResetStats() {
+	for c := 0; c < 2; c++ {
+		n.Messages[c], n.Hops[c], n.Latency[c] = 0, 0, 0
+		for i := range n.HopsHist[c] {
+			n.HopsHist[c][i] = 0
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package noc
+
+import (
+	"testing"
+
+	"offchip/internal/mesh"
+)
+
+func TestTransitLatencyUncontended(t *testing.T) {
+	n := New(DefaultConfig(8, 8))
+	src, dst := mesh.Node{X: 0, Y: 0}, mesh.Node{X: 3, Y: 2}
+	arr, hops := n.Transit(0, src, dst, OffChip)
+	if hops != 5 {
+		t.Errorf("hops = %d, want 5", hops)
+	}
+	if arr != 5*4 {
+		t.Errorf("arrival = %d, want 20 (5 hops × 4 cycles)", arr)
+	}
+	if n.Messages[OffChip] != 1 || n.Hops[OffChip] != 5 {
+		t.Errorf("stats: %d msgs %d hops", n.Messages[OffChip], n.Hops[OffChip])
+	}
+}
+
+func TestTransitZeroHop(t *testing.T) {
+	n := New(DefaultConfig(4, 4))
+	arr, hops := n.Transit(7, mesh.Node{X: 1, Y: 1}, mesh.Node{X: 1, Y: 1}, OnChip)
+	if arr != 7 || hops != 0 {
+		t.Errorf("arrival=%d hops=%d", arr, hops)
+	}
+}
+
+func TestContentionDelays(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	n := New(cfg)
+	src, dst := mesh.Node{X: 0, Y: 0}, mesh.Node{X: 1, Y: 0}
+	// Two messages over the same link at the same time: the second is
+	// delayed by the link occupancy.
+	a1, _ := n.Transit(0, src, dst, OnChip)
+	a2, _ := n.Transit(0, src, dst, OnChip)
+	if a1 != cfg.HopLatency {
+		t.Errorf("first arrival = %d", a1)
+	}
+	if a2 != cfg.LinkOccupancy+cfg.HopLatency {
+		t.Errorf("second arrival = %d, want %d", a2, cfg.LinkOccupancy+cfg.HopLatency)
+	}
+
+	// With contention disabled, both arrive together.
+	cfg.Contention = false
+	n2 := New(cfg)
+	b1, _ := n2.Transit(0, src, dst, OnChip)
+	b2, _ := n2.Transit(0, src, dst, OnChip)
+	if b1 != b2 {
+		t.Errorf("ideal network diverged: %d vs %d", b1, b2)
+	}
+}
+
+func TestXYRoutingDisjointPathsDontContend(t *testing.T) {
+	n := New(DefaultConfig(4, 4))
+	a1, _ := n.Transit(0, mesh.Node{X: 0, Y: 0}, mesh.Node{X: 3, Y: 0}, OnChip)
+	a2, _ := n.Transit(0, mesh.Node{X: 0, Y: 3}, mesh.Node{X: 3, Y: 3}, OnChip)
+	if a1 != a2 {
+		t.Errorf("disjoint paths contended: %d vs %d", a1, a2)
+	}
+	// Opposite directions of the same physical channel are separate links.
+	n2 := New(DefaultConfig(4, 4))
+	c1, _ := n2.Transit(0, mesh.Node{X: 0, Y: 0}, mesh.Node{X: 1, Y: 0}, OnChip)
+	c2, _ := n2.Transit(0, mesh.Node{X: 1, Y: 0}, mesh.Node{X: 0, Y: 0}, OnChip)
+	if c1 != c2 {
+		t.Errorf("reverse direction contended: %d vs %d", c1, c2)
+	}
+}
+
+func TestHopCDF(t *testing.T) {
+	n := New(DefaultConfig(8, 8))
+	n.Transit(0, mesh.Node{}, mesh.Node{X: 1, Y: 0}, OffChip) // 1 hop
+	n.Transit(0, mesh.Node{}, mesh.Node{X: 2, Y: 0}, OffChip) // 2 hops
+	n.Transit(0, mesh.Node{}, mesh.Node{X: 2, Y: 2}, OffChip) // 4 hops
+	cdf := n.HopCDF(OffChip)
+	if cdf[0] != 0 {
+		t.Errorf("cdf[0] = %v", cdf[0])
+	}
+	if cdf[1] < 0.33 || cdf[1] > 0.34 {
+		t.Errorf("cdf[1] = %v", cdf[1])
+	}
+	if cdf[4] != 1 || cdf[len(cdf)-1] != 1 {
+		t.Errorf("cdf tail = %v", cdf)
+	}
+	// Unused class: all zeros.
+	for _, v := range n.HopCDF(OnChip) {
+		if v != 0 {
+			t.Error("empty class CDF nonzero")
+		}
+	}
+}
+
+func TestAvgStatsAndReset(t *testing.T) {
+	n := New(DefaultConfig(8, 8))
+	n.Transit(0, mesh.Node{}, mesh.Node{X: 2, Y: 0}, OnChip)
+	if got := n.AvgHops(OnChip); got != 2 {
+		t.Errorf("AvgHops = %v", got)
+	}
+	if got := n.AvgLatency(OnChip); got != 8 {
+		t.Errorf("AvgLatency = %v", got)
+	}
+	n.ResetStats()
+	if n.Messages[OnChip] != 0 || n.AvgHops(OnChip) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if OnChip.String() != "on-chip" || OffChip.String() != "off-chip" {
+		t.Error("class strings")
+	}
+}

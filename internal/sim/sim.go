@@ -1,0 +1,640 @@
+// Package sim is the manycore simulator: cores replay per-thread memory
+// traces through L1s, private or shared-SNUCA L2s, the mesh NoC, and
+// FR-FCFS memory controllers, following the access flows of Figure 2. It
+// collects every statistic the paper's evaluation reports: execution time,
+// the network latency of on-chip and off-chip accesses, off-chip memory
+// (queue) latency, link-traversal histograms (Figure 15), per-node per-MC
+// access maps (Figure 13), and bank-queue occupancy (Figure 18). It also
+// implements the "optimal scheme" of Section 2 — every off-chip request
+// served by the nearest controller with no bank contention — used to bound
+// the achievable savings (Figure 4).
+package sim
+
+import (
+	"fmt"
+
+	"offchip/internal/cache"
+	"offchip/internal/dram"
+	"offchip/internal/engine"
+	"offchip/internal/layout"
+	"offchip/internal/mem"
+	"offchip/internal/mesh"
+	"offchip/internal/noc"
+)
+
+// PolicyKind selects the page allocation policy under page interleaving.
+type PolicyKind int
+
+const (
+	// PolicyInterleaved is the default: pages round-robin across MCs.
+	PolicyInterleaved PolicyKind = iota
+	// PolicyOSAssisted honors the layout pass's per-page desired MC
+	// (Section 5.3).
+	PolicyOSAssisted
+	// PolicyFirstTouch allocates from the MC of the first-touching node's
+	// cluster (Section 6.3).
+	PolicyFirstTouch
+)
+
+// Config assembles the simulated machine.
+type Config struct {
+	Machine layout.Machine
+	Mapping *layout.ClusterMapping // supplies the MC placement and clusters
+
+	NoC  noc.Config
+	DRAM dram.Config
+
+	L1Bytes int64
+	L1Ways  int
+	L2Bytes int64 // per node
+	L2Ways  int
+
+	L1Latency  int64
+	L2Latency  int64
+	DirLatency int64 // directory lookup at the MC (private L2)
+
+	// MLPWindow is the number of outstanding misses a core sustains.
+	MLPWindow int
+	// ComputeGap is the minimum cycles between successive issues of one
+	// stream (non-memory work between accesses; the paper's two-issue
+	// SPARC cores retire several instructions per data reference).
+	ComputeGap int64
+	// StartStagger delays core c's first issue by c·StartStagger cycles,
+	// modeling the thread start-up skew of a real runtime; without it the
+	// synthetic lockstep of identical kernels produces artificial burst
+	// congestion no real system exhibits.
+	StartStagger int64
+	// GapJitter adds a deterministic per-access pseudo-random 0..GapJitter-1
+	// cycles to ComputeGap (hashed from core and access index), modeling
+	// per-iteration compute variation; identical synthetic kernels would
+	// otherwise stay in lockstep and alias their miss bursts.
+	GapJitter int64
+
+	// Policy selects the page allocation policy (page interleaving only).
+	Policy PolicyKind
+
+	// OptimalOffchip turns on the Section 2 optimal scheme.
+	OptimalOffchip bool
+
+	// DebugMC0, when set, observes every local address submitted to MC0.
+	DebugMC0 func(addr int64)
+}
+
+// DefaultConfig returns the paper's Table 1 machine around the given
+// layout machine and mapping.
+func DefaultConfig(m layout.Machine, cm *layout.ClusterMapping) Config {
+	return Config{
+		Machine:      m,
+		Mapping:      cm,
+		NoC:          noc.DefaultConfig(m.MeshX, m.MeshY),
+		DRAM:         dram.DefaultConfig(),
+		L1Bytes:      16 << 10,
+		L1Ways:       2,
+		L2Bytes:      256 << 10,
+		L2Ways:       16,
+		L1Latency:    2,
+		L2Latency:    10,
+		DirLatency:   4,
+		MLPWindow:    2,
+		ComputeGap:   4,
+		GapJitter:    8,
+		StartStagger: 17,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Mapping == nil {
+		return fmt.Errorf("sim: nil cluster mapping")
+	}
+	if err := c.Mapping.Validate(); err != nil {
+		return err
+	}
+	if c.Mapping.NumMCs() != c.Machine.NumMCs {
+		return fmt.Errorf("sim: mapping has %d MCs, machine %d", c.Mapping.NumMCs(), c.Machine.NumMCs)
+	}
+	if c.Machine.Cores() > cache.MaxDirectoryCores {
+		return fmt.Errorf("sim: %d cores exceed directory capacity %d", c.Machine.Cores(), cache.MaxDirectoryCores)
+	}
+	if c.MLPWindow <= 0 {
+		return fmt.Errorf("sim: MLP window %d", c.MLPWindow)
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Access is one memory reference of a trace. DesiredMC carries the layout
+// pass's controller preference for OS-assisted page allocation (-1: none).
+type Access struct {
+	VAddr     int64
+	DesiredMC int8
+}
+
+// Stream is the access sequence of one software thread, bound to a core.
+// Phases optionally records the start index of each program phase (loop
+// nest); under page interleaving, page allocation honors phase order across
+// streams — the implicit barrier between OpenMP parallel regions — so a
+// master-thread initialization phase really does perform the first touches.
+type Stream struct {
+	Core     int
+	AppID    int
+	Accesses []Access
+	Phases   []int
+}
+
+// Workload is a set of streams, possibly from several applications
+// (multiprogrammed mixes put one stream per application on each core).
+type Workload struct {
+	Name    string
+	Streams []Stream
+}
+
+// TotalAccesses returns the workload's access count.
+func (w *Workload) TotalAccesses() int64 {
+	var n int64
+	for _, s := range w.Streams {
+		n += int64(len(s.Accesses))
+	}
+	return n
+}
+
+// Result carries every statistic of a run.
+type Result struct {
+	ExecTime    int64
+	AppExecTime map[int]int64
+
+	// Access outcome counts.
+	Total        int64
+	L1Hits       int64
+	L2LocalHits  int64 // private: local L2 hit; shared: home-bank hit
+	OnChipRemote int64 // private: L2-to-L2 transfer
+	OffChip      int64
+
+	// Network statistics by class (from the NoC).
+	NetMsgs    [2]int64
+	NetHops    [2]int64
+	NetLatency [2]int64
+	HopCDF     [2][]float64
+
+	// Off-chip memory statistics (from the controllers).
+	MemLatency  int64 // Σ queue+service
+	MemQueue    int64 // Σ queue wait
+	MemServed   int64
+	RowHits     int64
+	QueueOcc    []float64 // per-MC time-averaged queue length
+	AvgQueueOcc float64
+
+	// AccessMap[node][mc] counts off-chip requests sent from each node to
+	// each controller (Figure 13).
+	AccessMap [][]int64
+
+	PageSpills int64
+}
+
+// OffChipShare returns the fraction of accesses served off-chip (Figure 3).
+func (r *Result) OffChipShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.OffChip) / float64(r.Total)
+}
+
+// AvgNetLatency returns the mean network latency for the class.
+func (r *Result) AvgNetLatency(class noc.Class) float64 {
+	if r.NetMsgs[class] == 0 {
+		return 0
+	}
+	return float64(r.NetLatency[class]) / float64(r.NetMsgs[class])
+}
+
+// AvgMemLatency returns the mean off-chip memory latency (queue+service).
+func (r *Result) AvgMemLatency() float64 {
+	if r.MemServed == 0 {
+		return 0
+	}
+	return float64(r.MemLatency) / float64(r.MemServed)
+}
+
+type coreState struct {
+	streams     []*streamState
+	nextStream  int // round-robin among the core's streams
+	outstanding int
+	nextFree    int64 // earliest next issue (compute gap pacing)
+	issued      int64 // accesses issued so far (jitter hash input)
+}
+
+type streamState struct {
+	stream *Stream
+	idx    int
+	done   bool
+}
+
+type machine struct {
+	cfg    Config
+	memCfg mem.Config
+	sim    *engine.Sim
+	net    *noc.Network
+	mcs    []*dram.Controller
+	l1s    []*cache.Cache
+	l2s    []*cache.Cache
+	dir    *cache.Directory
+	spaces map[int]*mem.AddressSpace
+	cores  []*coreState
+	res    *Result
+
+	running int // streams not yet finished
+}
+
+// Run simulates the workload on the configured machine.
+func Run(cfg Config, w *Workload) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cores := cfg.Machine.Cores()
+	for _, s := range w.Streams {
+		if s.Core < 0 || s.Core >= cores {
+			return nil, fmt.Errorf("sim: stream bound to core %d of %d", s.Core, cores)
+		}
+	}
+
+	m := &machine{
+		cfg:    cfg,
+		sim:    &engine.Sim{},
+		net:    noc.New(cfg.NoC),
+		dir:    cache.NewDirectory(),
+		spaces: map[int]*mem.AddressSpace{},
+		res: &Result{
+			AppExecTime: map[int]int64{},
+			AccessMap:   make([][]int64, cores),
+		},
+	}
+	for i := range m.res.AccessMap {
+		m.res.AccessMap[i] = make([]int64, cfg.Machine.NumMCs)
+	}
+	for i := 0; i < cfg.Machine.NumMCs; i++ {
+		m.mcs = append(m.mcs, dram.New(i, cfg.DRAM, m.sim))
+	}
+	if cfg.DebugMC0 != nil {
+		m.mcs[0].OnSubmit = cfg.DebugMC0
+	}
+	for i := 0; i < cores; i++ {
+		m.l1s = append(m.l1s, cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways))
+		m.l2s = append(m.l2s, cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways))
+		m.cores = append(m.cores, &coreState{})
+	}
+
+	m.memCfg = mem.Config{
+		PageBytes:  cfg.Machine.PageBytes,
+		LineBytes:  cfg.Machine.LineUnit(),
+		NumMCs:     cfg.Machine.NumMCs,
+		Interleave: cfg.Machine.Interleave,
+	}
+	memCfg := m.memCfg
+	appBase := int64(0)
+	for _, s := range w.Streams {
+		if _, ok := m.spaces[s.AppID]; !ok {
+			m.spaces[s.AppID] = mem.NewAddressSpace(memCfg, appBase, m.policy())
+			appBase += 1 << 34
+		}
+	}
+
+	for i := range w.Streams {
+		s := &w.Streams[i]
+		if len(s.Accesses) == 0 {
+			continue
+		}
+		ss := &streamState{stream: s}
+		m.cores[s.Core].streams = append(m.cores[s.Core].streams, ss)
+		m.running++
+	}
+
+	if cfg.Machine.Interleave == layout.PageInterleave {
+		m.preTouch(w)
+	}
+	for core := range m.cores {
+		c := core
+		m.sim.At(int64(core)*cfg.StartStagger, func() { m.tryIssue(c) })
+	}
+	m.sim.Run()
+
+	m.finishStats(w)
+	return m.res, nil
+}
+
+// preTouch walks the workload phase by phase (streams in declaration order
+// within a phase) and performs the virtual-to-physical allocations in that
+// order: the timing simulation has no inter-core barriers, but page
+// allocation must respect the program's phase structure (a serial
+// initialization phase owns the first touch of every page it visits).
+func (m *machine) preTouch(w *Workload) {
+	maxPhases := 1
+	for i := range w.Streams {
+		if n := len(w.Streams[i].Phases); n > maxPhases {
+			maxPhases = n
+		}
+	}
+	for ph := 0; ph < maxPhases; ph++ {
+		for i := range w.Streams {
+			st := &w.Streams[i]
+			lo, hi := phaseRange(st, ph)
+			for _, acc := range st.Accesses[lo:hi] {
+				m.spaces[st.AppID].Translate(acc.VAddr, st.Core, int(acc.DesiredMC))
+			}
+		}
+	}
+}
+
+// phaseRange returns the [lo, hi) access range of phase ph in the stream.
+// Streams without phase markers are one phase.
+func phaseRange(st *Stream, ph int) (int, int) {
+	if len(st.Phases) == 0 {
+		if ph == 0 {
+			return 0, len(st.Accesses)
+		}
+		return 0, 0
+	}
+	if ph >= len(st.Phases) {
+		return 0, 0
+	}
+	lo := st.Phases[ph]
+	hi := len(st.Accesses)
+	if ph+1 < len(st.Phases) {
+		hi = st.Phases[ph+1]
+	}
+	return lo, hi
+}
+
+func (m *machine) policy() mem.Policy {
+	switch m.cfg.Policy {
+	case PolicyOSAssisted:
+		return mem.NewOSAssistedPolicy(m.cfg.Machine.NumMCs)
+	case PolicyFirstTouch:
+		return &mem.FirstTouchPolicy{MCOfCore: m.cfg.Mapping.DesiredMCOf}
+	default:
+		return mem.NewInterleavedPolicy(m.cfg.Machine.NumMCs)
+	}
+}
+
+// tryIssue launches accesses for the core until its MLP window fills.
+func (m *machine) tryIssue(core int) {
+	cs := m.cores[core]
+	for cs.outstanding < m.cfg.MLPWindow {
+		ss := m.nextReady(cs)
+		if ss == nil {
+			return
+		}
+		acc := ss.stream.Accesses[ss.idx]
+		ss.idx++
+		app := ss.stream.AppID
+		if ss.idx == len(ss.stream.Accesses) {
+			ss.done = true
+		}
+		cs.outstanding++
+		now := m.sim.Now()
+		t := now
+		if cs.nextFree > t {
+			t = cs.nextFree
+		}
+		gap := m.cfg.ComputeGap
+		if m.cfg.GapJitter > 0 {
+			// Cheap deterministic hash of (core, issue count).
+			h := uint64(core)*0x9e3779b97f4a7c15 + uint64(cs.issued)*0xbf58476d1ce4e5b9
+			h ^= h >> 31
+			gap += int64(h % uint64(m.cfg.GapJitter))
+		}
+		cs.issued++
+		cs.nextFree = t + gap
+		done := ss.done
+		m.sim.At(t, func() { m.process(core, app, acc, done) })
+	}
+}
+
+// nextReady picks the core's next stream with work, round-robin.
+func (m *machine) nextReady(cs *coreState) *streamState {
+	n := len(cs.streams)
+	for i := 0; i < n; i++ {
+		ss := cs.streams[(cs.nextStream+i)%n]
+		if !ss.done {
+			cs.nextStream = (cs.nextStream + i + 1) % n
+			return ss
+		}
+	}
+	return nil
+}
+
+// complete finishes one access at the current time.
+func (m *machine) complete(core, app int, last bool) {
+	cs := m.cores[core]
+	cs.outstanding--
+	if t := m.sim.Now(); t > m.res.AppExecTime[app] {
+		m.res.AppExecTime[app] = t
+	}
+	if t := m.sim.Now(); t > m.res.ExecTime {
+		m.res.ExecTime = t
+	}
+	if last {
+		m.running--
+	}
+	m.tryIssue(core)
+}
+
+// process runs one access through the Figure 2 flow.
+func (m *machine) process(core, app int, acc Access, last bool) {
+	m.res.Total++
+	paddr := m.spaces[app].Translate(acc.VAddr, core, int(acc.DesiredMC))
+
+	// L1.
+	if hit, _ := m.l1s[core].Access(paddr); hit {
+		m.sim.After(m.cfg.L1Latency, func() { m.complete(core, app, last) })
+		return
+	}
+	if m.cfg.Machine.L2 == layout.SharedL2 {
+		m.processShared(core, app, paddr, last)
+		return
+	}
+	m.processPrivate(core, app, paddr, last)
+}
+
+// processPrivate follows Figure 2a: local L2, then the directory cached at
+// the line's MC, then an L2-to-L2 transfer or an off-chip access.
+func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
+	t0 := m.sim.Now() + m.cfg.L1Latency
+	line := m.l2s[core].LineAddr(paddr)
+	if hit, evicted := m.l2s[core].Access(paddr); hit {
+		m.res.L2LocalHits++
+		m.sim.At(t0+m.cfg.L2Latency, func() { m.complete(core, app, last) })
+		return
+	} else if evicted >= 0 {
+		m.dir.Remove(evicted, core)
+	}
+	m.dir.Add(line, core) // the fill just performed by Access
+
+	t1 := t0 + m.cfg.L2Latency
+	mcID := m.spaces[app].MCOf(paddr)
+	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
+	coreNode := mesh.CoordOf(core, m.cfg.Machine.MeshX)
+
+	// Peek the directory to classify the request's traffic, then send
+	// path 1 (L2 → directory at the MC).
+	owner := m.ownerOf(line, core)
+	if owner >= 0 {
+		// On-chip: directory forwards to the owning L2, which sends the
+		// line to the requester.
+		m.res.OnChipRemote++
+		tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OnChip)
+		tDir := tArr + m.cfg.DirLatency
+		ownerNode := mesh.CoordOf(owner, m.cfg.Machine.MeshX)
+		tFwd, _ := m.net.Transit(tDir, mcNode, ownerNode, noc.OnChip)
+		tOwn := tFwd + m.cfg.L2Latency
+		tData, _ := m.net.Transit(tOwn, ownerNode, coreNode, noc.OnChip)
+		m.sim.At(tData, func() { m.complete(core, app, last) })
+		return
+	}
+
+	// Off-chip (paths 1–3 of Figure 2a).
+	m.res.OffChip++
+	if m.cfg.OptimalOffchip {
+		// Section 2 optimal scheme: nearest controller, no bank contention.
+		nearest := m.cfg.Mapping.Placement.NearestMC(coreNode)
+		nearNode := m.cfg.Mapping.Placement.NodeOf(nearest)
+		m.res.AccessMap[core][nearest]++
+		tArr, _ := m.net.Transit(t1, coreNode, nearNode, noc.OffChip)
+		finish := tArr + m.cfg.DirLatency + m.cfg.DRAM.TRowHit
+		m.res.MemLatency += m.cfg.DRAM.TRowHit
+		m.res.MemServed++
+		m.sim.At(finish, func() {
+			tBack, _ := m.net.Transit(finish, nearNode, coreNode, noc.OffChip)
+			m.sim.At(tBack, func() { m.complete(core, app, last) })
+		})
+		return
+	}
+	m.res.AccessMap[core][mcID]++
+	tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OffChip)
+	tDir := tArr + m.cfg.DirLatency
+	local := mem.LocalAddr(paddr, m.memCfg)
+	m.sim.At(tDir, func() {
+		m.mcs[mcID].Submit(local, func(finish int64) {
+			tBack, _ := m.net.Transit(finish, mcNode, coreNode, noc.OffChip)
+			m.sim.At(tBack, func() { m.complete(core, app, last) })
+		})
+	})
+}
+
+// ownerOf returns the core (≠ requester) nearest to the requester whose L2
+// still holds the line, or -1. Picking the nearest sharer models a
+// distance-aware directory and avoids turning the lowest-numbered sharer
+// into a forwarding hotspot for widely shared lines.
+func (m *machine) ownerOf(line int64, requester int) int {
+	sharers := m.dir.Sharers(line)
+	if sharers == 0 {
+		return -1
+	}
+	reqNode := mesh.CoordOf(requester, m.cfg.Machine.MeshX)
+	best, bestD := -1, 1<<30
+	for c := 0; c < m.cfg.Machine.Cores(); c++ {
+		if c == requester || sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if !m.l2s[c].Contains(line) {
+			continue
+		}
+		if d := mesh.Dist(reqNode, mesh.CoordOf(c, m.cfg.Machine.MeshX)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// processShared follows Figure 2b: the home L2 bank, then the controller.
+func (m *machine) processShared(core, app int, paddr int64, last bool) {
+	t0 := m.sim.Now() + m.cfg.L1Latency
+	cores := m.cfg.Machine.Cores()
+	home := mem.HomeBank(paddr, m.cfg.Machine.LineUnit(), cores)
+	homeNode := mesh.CoordOf(home, m.cfg.Machine.MeshX)
+	coreNode := mesh.CoordOf(core, m.cfg.Machine.MeshX)
+
+	// Path 1: L1 → home bank.
+	tArr, _ := m.net.Transit(t0, coreNode, homeNode, noc.OnChip)
+	tBank := tArr + m.cfg.L2Latency
+	if hit, _ := m.l2s[home].Access(paddr); hit {
+		m.res.L2LocalHits++
+		m.sim.At(tBank, func() {
+			// Path 5: home bank → L1.
+			tData, _ := m.net.Transit(m.sim.Now(), homeNode, coreNode, noc.OnChip)
+			m.sim.At(tData, func() { m.complete(core, app, last) })
+		})
+		return
+	}
+
+	// Off-chip (paths 2–4), issued by the home bank.
+	m.res.OffChip++
+	mcID := m.spaces[app].MCOf(paddr)
+	if m.cfg.OptimalOffchip {
+		mcID = m.cfg.Mapping.Placement.NearestMC(homeNode)
+	}
+	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
+	m.res.AccessMap[home][mcID]++
+	m.sim.At(tBank, func() {
+		tReq, _ := m.net.Transit(m.sim.Now(), homeNode, mcNode, noc.OffChip)
+		serve := func(finish int64) {
+			tFill, _ := m.net.Transit(finish, mcNode, homeNode, noc.OffChip)
+			m.sim.At(tFill, func() {
+				// Path 5: home bank → L1.
+				tData, _ := m.net.Transit(m.sim.Now(), homeNode, coreNode, noc.OnChip)
+				m.sim.At(tData, func() { m.complete(core, app, last) })
+			})
+		}
+		if m.cfg.OptimalOffchip {
+			finish := tReq + m.cfg.DRAM.TRowHit
+			m.res.MemLatency += m.cfg.DRAM.TRowHit
+			m.res.MemServed++
+			m.sim.At(finish, func() { serve(finish) })
+			return
+		}
+		local := mem.LocalAddr(paddr, m.memCfg)
+		m.sim.At(tReq, func() { m.mcs[mcID].Submit(local, serve) })
+	})
+}
+
+// finishStats folds substrate statistics into the result.
+func (m *machine) finishStats(w *Workload) {
+	r := m.res
+	// ExecTime was tracked at each completion (idle start-stagger events
+	// on streamless cores must not count).
+	if r.ExecTime == 0 {
+		r.ExecTime = m.sim.Now()
+	}
+	r.L1Hits = 0
+	for _, l1 := range m.l1s {
+		r.L1Hits += l1.Hits
+	}
+	for c := 0; c < 2; c++ {
+		r.NetMsgs[c] = m.net.Messages[c]
+		r.NetHops[c] = m.net.Hops[c]
+		r.NetLatency[c] = m.net.Latency[c]
+		r.HopCDF[c] = m.net.HopCDF(noc.Class(c))
+	}
+	for _, mc := range m.mcs {
+		if !m.cfg.OptimalOffchip {
+			r.MemLatency += mc.TotalMemLatency
+			r.MemServed += mc.Served
+		}
+		r.MemQueue += mc.TotalQueueWait
+		r.RowHits += mc.RowHits
+		r.QueueOcc = append(r.QueueOcc, mc.QueueOccupancy(r.ExecTime))
+	}
+	for _, q := range r.QueueOcc {
+		r.AvgQueueOcc += q
+	}
+	if len(r.QueueOcc) > 0 {
+		r.AvgQueueOcc /= float64(len(r.QueueOcc))
+	}
+	for _, sp := range m.spaces {
+		r.PageSpills += sp.Spills
+	}
+}

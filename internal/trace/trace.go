@@ -1,0 +1,274 @@
+// Package trace turns an affine program plus a layout-pass result into the
+// per-core virtual-address streams the simulator replays. Each software
+// thread executes its OpenMP-static chunk of every parallel nest in program
+// order; every reference becomes one access whose virtual address is the
+// array's base plus the layout's Offset — so the same generator produces
+// baseline traces (identity layouts) and optimized traces (customized
+// layouts), and indexed references resolve through the profiled index
+// arrays exactly as the real program would.
+package trace
+
+import (
+	"fmt"
+
+	"offchip/internal/deps"
+	"offchip/internal/ir"
+	"offchip/internal/layout"
+	"offchip/internal/sim"
+)
+
+// Options shapes trace generation.
+type Options struct {
+	// Threads is the total software thread count (default: one per core).
+	Threads int
+	// MaxAccessesPerThread caps each thread's trace; iteration sampling
+	// (a deterministic stride) covers the whole iteration space when the
+	// cap is smaller than the full run. Zero means DefaultMaxAccesses;
+	// Unlimited disables sampling entirely. Experiments use full traces —
+	// sampling perturbs cache reuse differently for different layouts,
+	// and the paper's effect must come from request placement, not from
+	// miss-count changes (Section 6.1 reports <1% LLC-miss impact).
+	MaxAccessesPerThread int
+	// AppID tags the streams (distinct IDs isolate address spaces in
+	// multiprogrammed runs).
+	AppID int
+}
+
+// DefaultMaxAccesses bounds per-thread traces so full-suite experiments
+// stay laptop-fast while covering every array region.
+const DefaultMaxAccesses = 1500
+
+// Unlimited disables the per-thread access cap and iteration sampling.
+const Unlimited = -1
+
+// Generate builds the workload for one application under the layouts in
+// res. The store supplies index-array contents for irregular references.
+func Generate(p *ir.Program, res *layout.Result, m layout.Machine, store *ir.DataStore, opt Options) (*sim.Workload, error) {
+	cores := m.Cores()
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = cores
+	}
+	unlimited := opt.MaxAccessesPerThread < 0
+	maxAcc := opt.MaxAccessesPerThread
+	if maxAcc == 0 {
+		maxAcc = DefaultMaxAccesses
+	}
+	if unlimited {
+		maxAcc = 1 << 62
+	}
+
+	bases, err := PlaceArrays(p, res, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-nest access count per iteration, to compute sampling strides.
+	w := &sim.Workload{Name: p.Name}
+	for t := 0; t < threads; t++ {
+		stream := sim.Stream{Core: t % cores, AppID: opt.AppID}
+		budget := maxAcc
+		for _, nest := range p.Nests {
+			stream.Phases = append(stream.Phases, len(stream.Accesses))
+			if budget <= 0 {
+				break
+			}
+			nestBudget := budget / remainingNests(p, nest)
+			if nestBudget == 0 {
+				nestBudget = 1
+			}
+			refsPerIter := 0
+			for _, s := range nest.Body {
+				refsPerIter += len(s.Refs())
+			}
+			if refsPerIter == 0 {
+				continue
+			}
+			iterBudget := nestBudget / refsPerIter
+			if iterBudget == 0 {
+				iterBudget = 1
+			}
+			// Thread's share of the nest's iterations.
+			totalIters := nest.TripCount() / int64(threads)
+			if totalIters == 0 {
+				totalIters = 1
+			}
+			stride := int64(1)
+			if totalIters > int64(iterBudget) {
+				stride = totalIters / int64(iterBudget)
+			}
+			order := loopOrder(nest, res, store)
+			var k int64
+			iterateOrdered(nest, order, t, threads, func(env map[string]int64) bool {
+				if k%stride != 0 {
+					k++
+					return true
+				}
+				k++
+				for _, s := range nest.Body {
+					for _, r := range s.Refs() {
+						al := res.Layout(r.Array)
+						coord := ir.EvalRef(r, env, store)
+						off := al.Offset(coord)
+						stream.Accesses = append(stream.Accesses, sim.Access{
+							VAddr:     bases[r.Array] + off,
+							DesiredMC: int8(al.DesiredMC(off)),
+						})
+					}
+				}
+				return len(stream.Accesses) < maxAcc
+			})
+			budget = maxAcc - len(stream.Accesses)
+		}
+		w.Streams = append(w.Streams, stream)
+	}
+	return w, nil
+}
+
+// remainingNests counts nests from the given one to the end, so earlier
+// nests don't consume the whole budget.
+func remainingNests(p *ir.Program, from *ir.LoopNest) int {
+	for i, n := range p.Nests {
+		if n == from {
+			return len(p.Nests) - i
+		}
+	}
+	return 1
+}
+
+// PlaceArrays assigns each array a base virtual address aligned so that the
+// MC-select and home-bank bits of offset zero are zero: bases are multiples
+// of both NumMCs·PageBytes and Cores·LineBytes (the padding alignment of
+// Section 5.3).
+func PlaceArrays(p *ir.Program, res *layout.Result, m layout.Machine) (map[*ir.Array]int64, error) {
+	align := m.PageBytes * int64(m.NumMCs)
+	if cl := m.LineUnit() * int64(m.Cores()); cl > align {
+		if cl%align == 0 {
+			align = cl
+		} else {
+			align *= cl // fallback: a common multiple
+		}
+	}
+	bases := map[*ir.Array]int64{}
+	var next int64
+	for _, arr := range p.Arrays {
+		bases[arr] = next
+		size := res.Layout(arr).SizeBytes()
+		if size <= 0 {
+			return nil, fmt.Errorf("trace: array %s has size %d", arr.Name, size)
+		}
+		next += (size + align - 1) / align * align
+	}
+	return bases, nil
+}
+
+// Merge combines the streams of several workloads (multiprogrammed mixes).
+func Merge(name string, ws ...*sim.Workload) *sim.Workload {
+	out := &sim.Workload{Name: name}
+	for _, w := range ws {
+		out.Streams = append(out.Streams, w.Streams...)
+	}
+	return out
+}
+
+// loopOrder emulates the node compiler's cache-oriented loop permutation
+// (Section 6.1: original and optimized codes are both compiled "with the
+// highest level of optimization, enabling … loop permutation"): it returns
+// the nest's loop indices with the loop whose unit step moves the smallest
+// distance in the (layout-mapped) address space placed innermost. Both the
+// baseline and the optimized trace therefore enjoy the best loop order for
+// their own layout, so the two runs differ in where misses go, not in how
+// often they miss — matching the paper's <1% LLC-miss impact.
+//
+// Candidates are filtered for legality: the moved loop's variable must not
+// appear in another loop's bounds, and the permutation must preserve every
+// data dependence (checked with internal/deps).
+func loopOrder(nest *ir.LoopNest, res *layout.Result, store *ir.DataStore) []int {
+	m := nest.Depth()
+	order := make([]int, 0, m)
+	// Representative iteration: the midpoint of each loop's bounds under
+	// an all-midpoint environment (evaluated outside-in).
+	env := map[string]int64{}
+	for _, l := range nest.Loops {
+		lo, hi := l.Lower.Eval(env), l.Upper.Eval(env)
+		env[l.Var] = (lo + hi) / 2
+	}
+	best, bestCost := m-1, int64(-1)
+	for li := m - 1; li >= 0; li-- {
+		v := nest.Loops[li].Var
+		// Legality, part 1: a loop may move innermost only if no other
+		// loop's bounds reference its variable (e.g. hpccg's nonzero loop
+		// runs 8·row .. 8·row+8 — row must stay outside it).
+		legal := true
+		for lj, other := range nest.Loops {
+			if lj == li {
+				continue
+			}
+			if other.Lower.Coeff(v) != 0 || other.Upper.Coeff(v) != 0 {
+				legal = false
+				break
+			}
+		}
+		if !legal {
+			continue
+		}
+		// Legality, part 2: the permutation must preserve every data
+		// dependence of the nest (loop permutation, unlike the data
+		// transformation itself, is constrained by dependences).
+		if li != m-1 && !deps.InnermostLegal(nest, li) {
+			continue
+		}
+		var cost int64
+		for _, s := range nest.Body {
+			for _, r := range s.Refs() {
+				al := res.Layout(r.Array)
+				base := ir.EvalRef(r, env, store)
+				env[v]++
+				next := ir.EvalRef(r, env, store)
+				env[v]--
+				d := al.Offset(next) - al.Offset(base)
+				if d < 0 {
+					d = -d
+				}
+				cost += d
+			}
+		}
+		if bestCost == -1 || cost < bestCost {
+			best, bestCost = li, cost
+		}
+	}
+	for li := 0; li < m; li++ {
+		if li != best {
+			order = append(order, li)
+		}
+	}
+	return append(order, best)
+}
+
+// iterateOrdered enumerates the thread's chunk of the nest with the loops
+// visited in the given order (a permutation of loop indices). Bounds are
+// evaluated when a loop is entered; the order produced by loopOrder keeps
+// every bound's dependencies already bound.
+func iterateOrdered(nest *ir.LoopNest, order []int, t, threads int, yield func(map[string]int64) bool) bool {
+	env := make(map[string]int64, nest.Depth())
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == len(order) {
+			return yield(env)
+		}
+		l := nest.Loops[order[d]]
+		lo, hi := l.Lower.Eval(env), l.Upper.Eval(env)
+		if order[d] == nest.ParDepth {
+			lo, hi = ir.ThreadChunk(lo, hi, t, threads)
+		}
+		for v := lo; v < hi; v++ {
+			env[l.Var] = v
+			if !rec(d + 1) {
+				return false
+			}
+		}
+		delete(env, l.Var)
+		return true
+	}
+	return rec(0)
+}

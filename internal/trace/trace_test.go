@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"testing"
+
+	"offchip/internal/ir"
+	"offchip/internal/layout"
+	"offchip/internal/sim"
+)
+
+const src = `
+program t
+array A[64][64]
+array B[64][64]
+parfor i = 0 .. 64 {
+  for j = 0 .. 64 {
+    A[i][j] = A[i][j] + B[i][j]
+  }
+}
+`
+
+func machine() layout.Machine {
+	return layout.Machine{
+		MeshX: 4, MeshY: 4, NumMCs: 4,
+		LineBytes: 64, PageBytes: 512,
+		L2: layout.PrivateL2, Interleave: layout.LineInterleave,
+	}
+}
+
+func optimize(t *testing.T, m layout.Machine, src string) (*ir.Program, *layout.Result) {
+	t.Helper()
+	p := ir.MustParse(src)
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := layout.Optimize(p, m, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func TestGenerateBasics(t *testing.T) {
+	m := machine()
+	p, res := optimize(t, m, src)
+	w, err := Generate(p, res, m, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Streams) != 16 {
+		t.Fatalf("streams = %d, want 16 (one per core)", len(w.Streams))
+	}
+	for i, s := range w.Streams {
+		if s.Core != i {
+			t.Errorf("stream %d on core %d", i, s.Core)
+		}
+		if len(s.Accesses) == 0 {
+			t.Errorf("stream %d empty", i)
+		}
+		if len(s.Accesses) > DefaultMaxAccesses {
+			t.Errorf("stream %d has %d accesses, cap %d", i, len(s.Accesses), DefaultMaxAccesses)
+		}
+	}
+}
+
+func TestGenerateCapsAndSamples(t *testing.T) {
+	m := machine()
+	p, res := optimize(t, m, src)
+	w, err := Generate(p, res, m, nil, Options{MaxAccessesPerThread: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.Streams {
+		if len(s.Accesses) > 60 {
+			t.Errorf("stream %d: %d accesses", i, len(s.Accesses))
+		}
+	}
+	// Sampling must still cover distant rows of the thread's chunk: the
+	// last thread's accesses should touch high addresses.
+	last := w.Streams[15]
+	var maxAddr int64
+	for _, a := range last.Accesses {
+		if a.VAddr > maxAddr {
+			maxAddr = a.VAddr
+		}
+	}
+	if maxAddr == 0 {
+		t.Error("sampled trace collapsed to address 0")
+	}
+}
+
+func TestThreadsOptionAndBinding(t *testing.T) {
+	m := machine()
+	p, res := optimize(t, m, src)
+	w, err := Generate(p, res, m, nil, Options{Threads: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Streams) != 32 {
+		t.Fatalf("streams = %d", len(w.Streams))
+	}
+	// Threads bind round-robin: thread 16 shares core 0.
+	if w.Streams[16].Core != 0 {
+		t.Errorf("thread 16 on core %d", w.Streams[16].Core)
+	}
+}
+
+func TestPlaceArraysAligned(t *testing.T) {
+	m := machine()
+	p, res := optimize(t, m, src)
+	bases, err := PlaceArrays(p, res, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	align := m.PageBytes * int64(m.NumMCs)
+	if cl := m.LineBytes * int64(m.Cores()); cl > align {
+		align = cl
+	}
+	seen := map[int64]bool{}
+	for arr, b := range bases {
+		if b%align != 0 {
+			t.Errorf("array %s base %d misaligned", arr.Name, b)
+		}
+		if seen[b] {
+			t.Errorf("arrays share base %d", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestOptimizedAndBaselineDiffer(t *testing.T) {
+	m := machine()
+	p := ir.MustParse(`
+program transposed
+array Z[64][64]
+parfor i = 1 .. 63 {
+  for j = 1 .. 63 {
+    Z[j][i] = Z[j-1][i] + Z[j+1][i]
+  }
+}
+`)
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := layout.Optimize(p, m, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: identity layouts.
+	baseRes := &layout.Result{Program: p, Layouts: map[*ir.Array]*layout.ArrayLayout{}}
+	opt, err := Generate(p, res, m, nil, Options{MaxAccessesPerThread: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Generate(p, baseRes, m, nil, Options{MaxAccessesPerThread: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range opt.Streams {
+		for j := range opt.Streams[i].Accesses {
+			if opt.Streams[i].Accesses[j].VAddr != base.Streams[i].Accesses[j].VAddr {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Error("optimized and baseline traces identical for a transposed kernel")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Generate2(t)
+	b := Generate2(t)
+	m := Merge("mix", a, b)
+	if len(m.Streams) != len(a.Streams)+len(b.Streams) {
+		t.Errorf("merged %d streams", len(m.Streams))
+	}
+	if m.Name != "mix" {
+		t.Errorf("name = %q", m.Name)
+	}
+}
+
+// Generate2 builds a tiny workload for Merge tests.
+func Generate2(t *testing.T) (w *sim.Workload) {
+	t.Helper()
+	m := machine()
+	p, res := optimize(t, m, src)
+	ww, err := Generate(p, res, m, nil, Options{MaxAccessesPerThread: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ww
+}

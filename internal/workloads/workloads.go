@@ -1,0 +1,617 @@
+// Package workloads defines the 13 multithreaded applications of the
+// paper's evaluation — the SPECOMP suite minus equake (wupwise, swim,
+// mgrid, applu, galgel, apsi, gafort, fma3d, art, ammp) plus three Mantevo
+// mini-apps (hpccg, minighost, minimd) — as affine kernels in the IR.
+//
+// The originals are Fortran/C programs we cannot run here; each kernel
+// reproduces the structural properties the optimization cares about: the
+// shape of its array references (row-parallel, transposed, multi-nest
+// conflicting, indexed through CRS/neighbor lists), its inter-thread
+// sharing, and its memory-level-parallelism demand. In particular fma3d
+// and minighost carry the high bank-queue pressure that makes them prefer
+// mapping M2 (Figures 17 and 18), and gafort/ammp have irregular index
+// patterns that resist the Section 5.4 approximation while hpccg/minimd
+// have banded ones that accept it.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"offchip/internal/ir"
+	"offchip/internal/layout"
+)
+
+// App is one benchmark application.
+type App struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Source is the kernel in the affine-loop language.
+	Source string
+	// Demand feeds the L2-to-MC mapping chooser: concurrent off-chip
+	// requests per cluster (Figure 18's bank pressure) in units the
+	// chooser expects.
+	Demand layout.DemandProfile
+	// SharedFrac documents the fraction of data shared by 2+ threads
+	// (Section 6.1 reports a 14% average, with fma3d and minighost
+	// highest).
+	SharedFrac float64
+	// Notes describes what the kernel models.
+	Notes string
+
+	// fill populates index arrays (nil for purely affine apps).
+	fill func(p *ir.Program, store *ir.DataStore)
+}
+
+// Load parses a fresh copy of the program and builds its profiled index
+// arrays. Each call returns independent instances.
+func (a *App) Load() (*ir.Program, *ir.DataStore, error) {
+	p, err := ir.Parse(a.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: %s: %w", a.Name, err)
+	}
+	store := ir.NewDataStore()
+	if a.fill != nil {
+		a.fill(p, store)
+	}
+	if masterInitApps[a.Name] {
+		addMasterInit(p)
+	}
+	return p, store, nil
+}
+
+// MustLoad is Load for static kernels; it panics on error.
+func (a *App) MustLoad() (*ir.Program, *ir.DataStore) {
+	p, s, err := a.Load()
+	if err != nil {
+		panic(err)
+	}
+	return p, s
+}
+
+func demand(concurrent float64) layout.DemandProfile {
+	return layout.DemandProfile{ConcurrentRequests: concurrent, BankServiceHops: 10}
+}
+
+// All returns the 13 applications in the paper's listing order.
+func All() []*App {
+	return []*App{
+		wupwise(), swim(), mgrid(), applu(), galgel(), apsi(), gafort(),
+		fma3d(), art(), ammp(), hpccg(), minighost(), minimd(),
+	}
+}
+
+// Names returns the application names in order.
+func Names() []string {
+	apps := All()
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ByName returns the named application.
+func ByName(name string) (*App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+func wupwise() *App {
+	return &App{
+		Name:       "wupwise",
+		Demand:     demand(3),
+		SharedFrac: 0.12,
+		Notes:      "lattice QCD: blocked dense update; the coefficient panel X is read per-column (transposed), exercising a second layout preference",
+		Source: `
+program wupwise
+param N = 192
+param K = 3
+array U[192][192]
+array X[192][192]
+array R[192][192]
+
+parfor i = 0 .. N {
+  for k = 0 .. K {
+    for j = 0 .. N {
+      R[i][j] = R[i][j] + U[i][k] * X[k][i]
+    }
+  }
+}
+parfor i = 0 .. N {
+  for j = 0 .. N {
+    U[i][j] = R[i][j]
+  }
+}
+`,
+	}
+}
+
+func swim() *App {
+	return &App{
+		Name:       "swim",
+		Demand:     demand(4),
+		SharedFrac: 0.10,
+		Notes:      "shallow water model: three coupled 2-D stencil sweeps over U, V, P",
+		Source: `
+program swim
+param N = 192
+array U[192][192]
+array V[192][192]
+array P[192][192]
+
+parfor i = 0 .. N-1 {
+  for j = 0 .. N-1 {
+    U[i][j] = P[i][j] + P[i][j+1] + V[i][j]
+  }
+}
+parfor i = 0 .. N-1 {
+  for j = 0 .. N-1 {
+    V[i][j] = P[i][j] + P[i+1][j] + U[i][j]
+  }
+}
+parfor i = 0 .. N {
+  for j = 0 .. N {
+    P[i][j] = U[i][j] + V[i][j] + P[i][j]
+  }
+}
+`,
+	}
+}
+
+func mgrid() *App {
+	return &App{
+		Name:       "mgrid",
+		Demand:     demand(4),
+		SharedFrac: 0.12,
+		Notes:      "multigrid V-cycle smoother: 3-D 7-point stencil",
+		Source: `
+program mgrid
+param NI = 64
+param NJ = 24
+array Z[64][24][24]
+array R[64][24][24]
+
+parfor i = 1 .. NI-1 {
+  for j = 1 .. NJ-1 {
+    for k = 1 .. NJ-1 {
+      R[i][j][k] = Z[i-1][j][k] + Z[i+1][j][k] + Z[i][j-1][k]
+        + Z[i][j+1][k] + Z[i][j][k-1] + Z[i][j][k+1] + Z[i][j][k]
+    }
+  }
+}
+parfor i = 0 .. NI {
+  for j = 0 .. NJ {
+    for k = 0 .. NJ {
+      Z[i][j][k] = R[i][j][k]
+    }
+  }
+}
+`,
+	}
+}
+
+func applu() *App {
+	return &App{
+		Name:       "applu",
+		Demand:     demand(3),
+		SharedFrac: 0.15,
+		Notes:      "SSOR solver: two sweeps with conflicting parallel dimensions (weighted selection resolves)",
+		Source: `
+program applu
+param N = 192
+array A[192][192]
+array B[192][192]
+
+parfor i = 1 .. N {
+  for j = 1 .. N {
+    A[i][j] = A[i-1][j] + A[i][j-1] + B[i][j] + B[i][j-1]
+  }
+}
+parfor i = 0 .. N {
+  for j = 0 .. N {
+    A[i][j] = A[i][j] + B[j][i]
+  }
+}
+`,
+	}
+}
+
+func galgel() *App {
+	return &App{
+		Name:       "galgel",
+		Demand:     demand(3),
+		SharedFrac: 0.18,
+		Notes:      "Galerkin FEM: dense matrix-vector products with one transposed operand sweep",
+		Source: `
+program galgel
+param N = 192
+array A[192][192]
+array X[192]
+array Y[192]
+array W[192]
+
+parfor i = 0 .. N {
+  for j = 0 .. N {
+    Y[i] = Y[i] + A[i][j] * X[j]
+  }
+}
+parfor i = 0 .. N {
+  for j = 0 .. N {
+    W[i] = W[i] + A[j][i] + X[j]
+  }
+}
+`,
+	}
+}
+
+func apsi() *App {
+	return &App{
+		Name:       "apsi",
+		Demand:     demand(3),
+		SharedFrac: 0.11,
+		Notes:      "pollutant transport: column-order stencil (the paper's Figure 9/13 example; wants the transposed layout)",
+		Source: `
+program apsi
+param NCOL = 2088
+param NROW = 24
+array Z[24][2088]
+array Q[24][2088]
+
+parfor i = 2 .. NCOL-2 {
+  for j = 1 .. NROW-1 {
+    Z[j][i] = Z[j-1][i] + Z[j][i] + Z[j+1][i]
+  }
+}
+parfor i = 0 .. NCOL {
+  for j = 0 .. NROW {
+    Q[j][i] = Z[j][i] + Q[j][i]
+  }
+}
+`,
+	}
+}
+
+func gafort() *App {
+	return &App{
+		Name:       "gafort",
+		Demand:     demand(2),
+		SharedFrac: 0.08,
+		Notes:      "genetic algorithm: row-parallel population updates plus a random shuffle (unapproximable index array)",
+		fill: func(p *ir.Program, store *ir.DataStore) {
+			perm := p.Array("perm")
+			rng := rand.New(rand.NewSource(42))
+			vals := rng.Perm(int(perm.NumElems()))
+			out := make([]int64, len(vals))
+			for i, v := range vals {
+				out[i] = int64(v)
+			}
+			store.SetContents(perm, out)
+		},
+		Source: `
+program gafort
+param POP = 2048
+param GENES = 32
+array pop[2048][32]
+array fit[2048]
+array perm[2048] elem 4
+
+parfor i = 0 .. POP {
+  for g = 0 .. GENES {
+    pop[i][g] = pop[i][g] + pop[i][g]
+  }
+}
+parfor i = 0 .. POP {
+  for g = 0 .. GENES {
+    fit[i] = fit[i] + pop[perm[i]][g]
+  }
+}
+`,
+	}
+}
+
+func fma3d() *App {
+	return &App{
+		Name:       "fma3d",
+		Demand:     demand(24), // highest bank pressure (Figure 18): prefers M2
+		SharedFrac: 0.38,
+		Notes:      "crash simulation: element-node gather over an irregular mesh; highest sharing and MLP demand",
+		fill: func(p *ir.Program, store *ir.DataStore) {
+			conn := p.Array("conn")
+			rng := rand.New(rand.NewSource(1973))
+			vals := make([]int64, conn.NumElems())
+			// Element e touches nodes around e/4 (banded connectivity) with
+			// occasional long-range contacts — approximable but with real
+			// error, and heavily shared at partition boundaries.
+			elems := p.Array("elems").Dims[0]
+			nodes := p.Array("nodes").Dims[0]
+			for e := int64(0); e < elems; e++ {
+				for v := int64(0); v < 4; v++ {
+					base := e/4 + v
+					if rng.Intn(8) == 0 {
+						base += int64(rng.Intn(257) - 128)
+					}
+					if base < 0 {
+						base = 0
+					}
+					if base >= nodes {
+						base = nodes - 1
+					}
+					vals[4*e+v] = base
+				}
+			}
+			store.SetContents(conn, vals)
+		},
+		Source: `
+program fma3d
+param ELEMS = 12288
+param NODES = 4096
+array nodes[4096][8]
+array elems[12288][4]
+array conn[49152] elem 4
+
+parfor e = 0 .. ELEMS {
+  for v = 0 .. 4 {
+    elems[e][v] = elems[e][v] + nodes[conn[4*e+v]][0] + nodes[conn[4*e+v]][1]
+  }
+}
+parfor e = 0 .. ELEMS {
+  for v = 0 .. 4 {
+    elems[e][v] = elems[e][v] + elems[e][v]
+  }
+}
+`,
+	}
+}
+
+func art() *App {
+	return &App{
+		Name:       "art",
+		Demand:     demand(3),
+		SharedFrac: 0.16,
+		Notes:      "adaptive resonance neural net: forward pass and transposed weight update over the same matrix",
+		Source: `
+program art
+param F1 = 192
+param F2 = 192
+array W[192][192]
+array Y[192]
+array T[192]
+
+parfor i = 0 .. F2 {
+  for j = 0 .. F1 {
+    Y[i] = Y[i] + W[i][j]
+  }
+}
+parfor i = 0 .. F2 {
+  for j = 0 .. F1 {
+    T[i] = T[i] + W[j][i]
+  }
+}
+`,
+	}
+}
+
+func ammp() *App {
+	return &App{
+		Name:       "ammp",
+		Demand:     demand(3),
+		SharedFrac: 0.14,
+		Notes:      "molecular dynamics: global random neighbor lists that defeat the affine approximation",
+		fill: func(p *ir.Program, store *ir.DataStore) {
+			nb := p.Array("nb")
+			rng := rand.New(rand.NewSource(607))
+			atoms := int(p.Array("atoms").Dims[0])
+			vals := make([]int64, nb.NumElems())
+			for i := range vals {
+				vals[i] = int64(rng.Intn(atoms)) // global scatter
+			}
+			store.SetContents(nb, vals)
+		},
+		Source: `
+program ammp
+param ATOMS = 4096
+param NBRS = 8
+array atoms[4096][4]
+array f[4096][4]
+array nb[32768] elem 4
+
+parfor a = 0 .. ATOMS {
+  for n = 0 .. NBRS {
+    f[a][0] = f[a][0] + atoms[nb[8*a+n]][0]
+  }
+}
+parfor a = 0 .. ATOMS {
+  for d = 0 .. 4 {
+    atoms[a][d] = atoms[a][d] + f[a][d]
+  }
+}
+`,
+	}
+}
+
+func hpccg() *App {
+	return &App{
+		Name:       "hpccg",
+		Demand:     demand(4),
+		SharedFrac: 0.09,
+		Notes:      "conjugate gradient: CRS SpMV with a banded 27-point matrix (approximable, Section 5.4) plus vector updates",
+		fill: func(p *ir.Program, store *ir.DataStore) {
+			col := p.Array("colidx")
+			rng := rand.New(rand.NewSource(271))
+			vals := make([]int64, col.NumElems())
+			rows := p.Array("x").Dims[0]
+			// 27-point-style 3-D stencil columns on a 32x32 plane: the
+			// nonzeros of row r sit at r plus these plane/line offsets.
+			offsets := []int64{-1056, -1024, -33, -1, 0, 1, 32, 1024}
+			for r := int64(0); r < rows; r++ {
+				for nz := int64(0); nz < 8; nz++ {
+					c := r + offsets[nz] + int64(rng.Intn(3)-1)
+					if c < 0 {
+						c = 0
+					}
+					if c >= rows {
+						c = rows - 1
+					}
+					vals[8*r+nz] = c
+				}
+			}
+			store.SetContents(col, vals)
+		},
+		Source: `
+program hpccg
+param ROWS = 12288
+param NNZ = 8
+array x[12288]
+array Ax[12288]
+array r[12288]
+array colidx[98304] elem 4
+
+parfor row = 0 .. ROWS {
+  for nz = 0 .. NNZ {
+    Ax[row] = Ax[row] + x[colidx[8*row+nz]]
+  }
+}
+parfor row = 0 .. ROWS {
+  r[row] = r[row] + x[row] + Ax[row]
+}
+`,
+	}
+}
+
+func minighost() *App {
+	return &App{
+		Name:       "minighost",
+		Demand:     demand(20), // second-highest bank pressure: prefers M2
+		SharedFrac: 0.32,
+		Notes:      "halo-exchange 27-point stencil: streaming 3-D sweeps with little reuse and heavy MC pressure",
+		Source: `
+program minighost
+param NI = 64
+param NJ = 24
+array G[64][24][24]
+array H[64][24][24]
+
+parfor i = 1 .. NI-1 {
+  for j = 1 .. NJ-1 {
+    for k = 1 .. NJ-1 {
+      H[i][j][k] = G[i-1][j][k] + G[i+1][j][k] + G[i][j-1][k]
+        + G[i][j+1][k] + G[i][j][k-1] + G[i][j][k+1] + G[i][j][k]
+        + G[i-1][j-1][k] + G[i+1][j+1][k]
+    }
+  }
+}
+parfor i = 0 .. NI {
+  for j = 0 .. NJ {
+    for k = 0 .. NJ {
+      G[i][j][k] = H[i][j][k]
+    }
+  }
+}
+`,
+	}
+}
+
+func minimd() *App {
+	return &App{
+		Name:       "minimd",
+		Demand:     demand(3),
+		SharedFrac: 0.10,
+		Notes:      "MD force kernel: spatially sorted neighbor lists (tightly banded, approximable); first-touch-friendly",
+		fill: func(p *ir.Program, store *ir.DataStore) {
+			nb := p.Array("nb")
+			rng := rand.New(rand.NewSource(1123))
+			vals := make([]int64, nb.NumElems())
+			atoms := p.Array("pos").Dims[0]
+			for a := int64(0); a < atoms; a++ {
+				for n := int64(0); n < 8; n++ {
+					c := a + (n - 4) + int64(rng.Intn(3)-1)
+					if c < 0 {
+						c = 0
+					}
+					if c >= atoms {
+						c = atoms - 1
+					}
+					vals[8*a+n] = c
+				}
+			}
+			store.SetContents(nb, vals)
+		},
+		Source: `
+program minimd
+param ATOMS = 8192
+param NBRS = 8
+array pos[8192][4]
+array force[8192][4]
+array nb[65536] elem 4
+
+parfor a = 0 .. ATOMS {
+  for n = 0 .. NBRS {
+    force[a][0] = force[a][0] + pos[nb[8*a+n]][0] + pos[nb[8*a+n]][1]
+  }
+}
+parfor a = 0 .. ATOMS {
+  for d = 0 .. 4 {
+    pos[a][d] = pos[a][d] + force[a][d]
+  }
+}
+`,
+	}
+}
+
+// masterInitApps are the applications whose data is initialized by the
+// master thread before the parallel phase — the reason the first-touch
+// policy misplaces their pages (Section 6.3: its assumption holds only for
+// wupwise, gafort, and minimd, which initialize in parallel).
+var masterInitApps = map[string]bool{
+	"swim": true, "mgrid": true, "applu": true, "galgel": true,
+	"apsi": true, "fma3d": true, "art": true, "ammp": true,
+	"hpccg": true, "minighost": true,
+}
+
+// touchStride spaces the master thread's initialization touches: one touch
+// per OS page (4 KB of 8-byte elements).
+const touchStride = 512
+
+// addMasterInit prepends, per array, a single-threaded boot nest in which
+// thread 0 touches one element of every page of the array (the classic
+// serial-initialization pattern: calloc + master-thread init loop). The
+// nests are tiny — a few touches per page — but under the first-touch
+// policy they pull every page to the master thread's cluster controller.
+func addMasterInit(p *ir.Program) {
+	var boots []*ir.LoopNest
+	for ai, arr := range p.Arrays {
+		bootVar := fmt.Sprintf("boot%d", ai)
+		nest := &ir.LoopNest{ParDepth: 0}
+		nest.Loops = append(nest.Loops, ir.Loop{
+			Var: bootVar, Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(1),
+		})
+		ref := &ir.Ref{Array: arr}
+		switch arr.NumDims() {
+		case 1:
+			n := (arr.Dims[0] + touchStride - 1) / touchStride
+			nest.Loops = append(nest.Loops, ir.Loop{Var: "tp", Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(n)})
+			ref.Subs = []ir.LinExpr{ir.Term(touchStride, "tp", 0)}
+		case 2:
+			cols := (arr.Dims[1] + touchStride - 1) / touchStride
+			nest.Loops = append(nest.Loops,
+				ir.Loop{Var: "ti", Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(arr.Dims[0])},
+				ir.Loop{Var: "tp", Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(cols)},
+			)
+			ref.Subs = []ir.LinExpr{ir.VarExpr("ti"), ir.Term(touchStride, "tp", 0)}
+		default: // 3-D: each (i,j,·) row is well under a page here
+			nest.Loops = append(nest.Loops,
+				ir.Loop{Var: "ti", Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(arr.Dims[0])},
+				ir.Loop{Var: "tj", Lower: ir.ConstExpr(0), Upper: ir.ConstExpr(arr.Dims[1])},
+			)
+			ref.Subs = []ir.LinExpr{ir.VarExpr("ti"), ir.VarExpr("tj"), ir.ConstExpr(0)}
+		}
+		nest.Body = []*ir.Statement{{Write: ref, Reads: []*ir.Ref{ref}}}
+		boots = append(boots, nest)
+	}
+	p.Nests = append(boots, p.Nests...)
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"testing"
+
+	"offchip/internal/approx"
+	"offchip/internal/layout"
+)
+
+func TestThirteenApps(t *testing.T) {
+	apps := All()
+	if len(apps) != 13 {
+		t.Fatalf("%d applications, want 13 (SPECOMP minus equake + 3 Mantevo)", len(apps))
+	}
+	want := []string{"wupwise", "swim", "mgrid", "applu", "galgel", "apsi",
+		"gafort", "fma3d", "art", "ammp", "hpccg", "minighost", "minimd"}
+	for i, a := range apps {
+		if a.Name != want[i] {
+			t.Errorf("app %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+func TestAllAppsLoadAndValidate(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			p, store, err := a.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != a.Name {
+				t.Errorf("program name %q", p.Name)
+			}
+			// Index arrays declared in the source must be filled.
+			for _, arr := range p.Arrays {
+				for _, nest := range p.Nests {
+					for _, s := range nest.Body {
+						for _, r := range s.Refs() {
+							for _, is := range r.IndexSubs {
+								if is.IndexArray == arr && store.Contents(arr) == nil {
+									t.Errorf("index array %s has no profile contents", arr.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+			if a.Demand.ConcurrentRequests <= 0 {
+				t.Error("no demand profile")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, ok := ByName("apsi")
+	if !ok || a.Name != "apsi" {
+		t.Fatal("ByName(apsi) failed")
+	}
+	if _, ok := ByName("equake"); ok {
+		t.Error("equake should be absent (excluded in the paper)")
+	}
+	if len(Names()) != 13 {
+		t.Error("Names() count")
+	}
+}
+
+func TestLoadsAreIndependent(t *testing.T) {
+	a, _ := ByName("apsi")
+	p1, _, _ := a.Load()
+	p2, _, _ := a.Load()
+	if p1 == p2 || p1.Arrays[0] == p2.Arrays[0] {
+		t.Error("Load returned shared instances")
+	}
+}
+
+func TestDemandSeparatesM2Apps(t *testing.T) {
+	// The mapping chooser must pick M2 exactly for fma3d and minighost
+	// (Section 4 / Figure 17).
+	m := layout.Default8x8()
+	p := layout.PlacementCorners(8, 8)
+	m1, err := layout.MappingM1(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := layout.MappingM2(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range All() {
+		got := layout.ChooseMapping([]*layout.ClusterMapping{m1, m2}, a.Demand, 4)
+		wantM2 := a.Name == "fma3d" || a.Name == "minighost"
+		if (got == m2) != wantM2 {
+			t.Errorf("%s: chooser picked %s", a.Name, got.Name)
+		}
+	}
+}
+
+func TestOptimizationCharacter(t *testing.T) {
+	// Every app must be at least partly optimizable, and the suite must
+	// show the Table 2 spread: affine apps near 100%, irregular ones lower.
+	m := layout.Default8x8()
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			p, store := a.MustLoad()
+			res, err := layout.Optimize(p, m, cm, &layout.Options{Approx: approx.NewProfiler(store)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ArraysOptimized == 0 {
+				t.Errorf("%s: no arrays optimized", a.Name)
+			}
+			sat := res.PctRefsSatisfied()
+			if sat <= 0 || sat > 100 {
+				t.Fatalf("%s: %f%% refs satisfied", a.Name, sat)
+			}
+			switch a.Name {
+			case "swim", "mgrid", "apsi", "minighost":
+				if sat < 95 {
+					t.Errorf("%s: affine app only %.0f%% satisfied", a.Name, sat)
+				}
+			case "gafort", "ammp":
+				if sat > 95 {
+					t.Errorf("%s: irregular app %.0f%% satisfied (random indices should resist)", a.Name, sat)
+				}
+			}
+		})
+	}
+}
+
+func TestApproximableIndexArrays(t *testing.T) {
+	// hpccg and minimd have banded index patterns that the Section 5.4
+	// profiler must accept; ammp's global scatter must be rejected.
+	m := layout.Default8x8()
+	cm, _ := layout.MappingM1(m, layout.PlacementCorners(8, 8))
+	satisfied := func(name string) float64 {
+		a, _ := ByName(name)
+		p, store := a.MustLoad()
+		withApprox, err := layout.Optimize(p, m, cm, &layout.Options{Approx: approx.NewProfiler(store)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return withApprox.PctRefsSatisfied()
+	}
+	noApprox := func(name string) float64 {
+		a, _ := ByName(name)
+		p, _ := a.MustLoad()
+		res, err := layout.Optimize(p, m, cm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PctRefsSatisfied()
+	}
+	for _, name := range []string{"hpccg", "minimd"} {
+		if satisfied(name) <= noApprox(name) {
+			t.Errorf("%s: approximation did not improve satisfaction (%.0f%% vs %.0f%%)",
+				name, satisfied(name), noApprox(name))
+		}
+	}
+	if satisfied("ammp") > noApprox("ammp")+1 {
+		t.Errorf("ammp: random scatter accepted by the approximator")
+	}
+}
