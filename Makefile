@@ -1,0 +1,34 @@
+# offchip build helpers. `make check` is the gate CI runs; keep it green.
+
+GO ?= go
+
+.PHONY: check vet fmt build test test-race bench clean
+
+## check: everything CI enforces — vet, formatting, build, tests under -race.
+check: vet fmt build test-race
+
+vet:
+	$(GO) vet ./...
+
+## fmt: fails if any file needs gofmt; prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+## bench: the per-figure benchmarks plus the obs overhead guards.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

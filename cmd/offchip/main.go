@@ -10,17 +10,30 @@
 // The report shows the per-array transformation decisions (Table 2 style),
 // the Figure 9(c) customized reference forms, and the baseline/optimized/
 // optimal comparison on the Table 1 platform.
+//
+// Observability (see README "Observing a run"):
+//
+//	offchip -app apsi -progress            # live one-line run status
+//	offchip -app apsi -trace t.json        # Chrome trace of the optimized run
+//	offchip -app apsi -metrics m.jsonl     # metrics registry dump, all runs
+//	offchip -app apsi -report              # post-run text dashboard
+//	offchip -app apsi -pprof :6060         # serve net/http/pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"offchip/internal/approx"
 	"offchip/internal/core"
 	"offchip/internal/ir"
 	"offchip/internal/layout"
+	"offchip/internal/obs"
+	"offchip/internal/sim"
 	"offchip/internal/stats"
 	"offchip/internal/workloads"
 )
@@ -40,7 +53,21 @@ func run() error {
 	interleave := flag.String("interleave", "line", "physical address interleaving: line | page")
 	show := flag.Bool("show", false, "print the transformed reference forms")
 	simulate := flag.Bool("sim", true, "run the baseline/optimized/optimal simulation")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the optimized run (chrome://tracing, Perfetto)")
+	traceSample := flag.Int64("trace-sample", 1, "keep every Nth trace event")
+	metricsOut := flag.String("metrics", "", "write a JSONL metrics dump of all three runs")
+	progress := flag.Bool("progress", false, "print a live one-line status during simulation")
+	report := flag.Bool("report", false, "print the post-run observability dashboard")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "offchip: pprof:", err)
+			}
+		}()
+	}
 
 	m := layout.Default8x8()
 	switch *l2 {
@@ -135,10 +162,42 @@ func run() error {
 		// Wrap the parsed program as an ad-hoc app for the comparison.
 		bench = &workloads.App{Name: prog.Name, Source: string(mustRead(*src)), Demand: layout.DefaultDemand()}
 	}
-	c, err := core.Compare(bench, m, cm, core.Options{})
+
+	opt := core.Options{}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(obs.TracerOptions{Chrome: f, Sample: *traceSample})
+		opt.Observer = func(run string) *obs.Observer {
+			if run == "optimized" {
+				return &obs.Observer{Reg: obs.NewRegistry(), Tracer: tracer}
+			}
+			return nil
+		}
+	}
+	if *progress {
+		opt.OnProgress = liveProgress()
+	}
+
+	c, err := core.Compare(bench, m, cm, opt)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "offchip: wrote %d trace events to %s (load in chrome://tracing or Perfetto)\n",
+			tracer.Kept(), *traceOut)
+	}
+
 	t := &stats.Table{
 		Title:   "simulation (baseline vs optimized vs optimal)",
 		Headers: []string{"metric", "baseline", "optimized", "optimal", "improvement"},
@@ -149,7 +208,85 @@ func run() error {
 	t.AddF("off-chip mem latency", c.Baseline.MemAvg, c.Optimized.MemAvg, c.Optimal.MemAvg, stats.Pct(c.MemImprovement()))
 	t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
 	fmt.Println(t.String())
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, c); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "offchip: wrote metrics to %s\n", *metricsOut)
+	}
+	if *report {
+		printDashboard(c, m)
+	}
 	return nil
+}
+
+// liveProgress returns a progress callback that keeps one status line
+// updated on stderr: run name, simulated cycles, events/sec (wall clock),
+// and in-flight misses.
+func liveProgress() func(run string, p sim.Progress) {
+	start := time.Now()
+	var lastEvents int64
+	lastWall := start
+	return func(run string, p sim.Progress) {
+		now := time.Now()
+		rate := float64(p.Events-lastEvents) / now.Sub(lastWall).Seconds()
+		lastEvents, lastWall = p.Events, now
+		fmt.Fprintf(os.Stderr, "\r[%-9s] cycles=%-12d events=%-12d events/sec=%-12.0f outstanding=%-4d",
+			run, p.Cycles, p.Events, rate, p.Outstanding)
+	}
+}
+
+// writeMetrics dumps every run's registry as JSONL, one point per line,
+// tagged with the run name.
+func writeMetrics(path string, c *core.Comparison) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, run := range []string{"baseline", "optimized", "optimal"} {
+		o := c.Observers[run]
+		if o == nil {
+			continue
+		}
+		until := c.Baseline.ExecTime
+		switch run {
+		case "optimized":
+			until = c.Optimized.ExecTime
+		case "optimal":
+			until = c.Optimal.ExecTime
+		}
+		points := o.Reg.Snapshot(until)
+		for i := range points {
+			points[i].Run = run
+		}
+		if err := obs.WriteJSONL(f, points); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// printDashboard renders the post-run observability dashboard: the mesh
+// link heat grids, the per-MC request mix and hottest banks (baseline vs
+// optimized), the Figure 15 hop CDF, and the structural metric diff.
+func printDashboard(c *core.Comparison, m layout.Machine) {
+	base := c.Observers["baseline"].Reg
+	opt := c.Observers["optimized"].Reg
+	fmt.Println("== observability dashboard ==")
+	fmt.Println()
+	fmt.Println("--- baseline ---")
+	fmt.Println(obs.LinkHeatGrid(base, m.MeshX, m.MeshY))
+	fmt.Println(obs.MCRequestMix(base, c.Baseline.ExecTime).String())
+	fmt.Println(obs.HottestBanks(base, 10).String())
+	fmt.Println("--- optimized ---")
+	fmt.Println(obs.LinkHeatGrid(opt, m.MeshX, m.MeshY))
+	fmt.Println(obs.MCRequestMix(opt, c.Optimized.ExecTime).String())
+	fmt.Println(obs.HottestBanks(opt, 10).String())
+	fmt.Println(obs.HottestLinks(opt, 10).String())
+	fmt.Println(obs.HopCDFTable(opt).String())
+	fmt.Println(obs.DiffTable(base, opt).String())
 }
 
 func mustRead(path string) []byte {

@@ -1,10 +1,15 @@
 // Package cache provides the set-associative LRU caches of the simulated
 // manycore (per-node L1s, private or shared-SNUCA L2 banks) and the
 // centralized L2 tag directory that private-L2 systems cache at the memory
-// controllers (Figure 2a).
+// controllers (Figure 2a). Caches optionally publish hit/miss/eviction
+// counters and trace events through the observability layer (Instrument).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"offchip/internal/obs"
+)
 
 // Cache is a set-associative cache with LRU replacement. It tracks only
 // tags (the simulator never stores data), which is all latency modeling
@@ -20,6 +25,32 @@ type Cache struct {
 	tick    int64
 
 	Hits, Misses int64
+
+	// Observability (set by Instrument; handle methods are nil-safe, so an
+	// uninstrumented cache pays only nil checks).
+	comp      string
+	tracer    *obs.Tracer
+	now       func() int64
+	hitC      *obs.Counter
+	missC     *obs.Counter
+	evictC    *obs.Counter
+	Evictions int64
+}
+
+// Instrument attaches the cache to an observer under the component name
+// (e.g. "l1.3"): hit/miss/eviction counters in the registry plus, when a
+// tracer is present, per-access trace events stamped with now().
+func (c *Cache) Instrument(o *obs.Observer, comp string, now func() int64) {
+	if o == nil {
+		return
+	}
+	c.comp = comp
+	c.tracer = o.Tracer
+	c.now = now
+	label := "comp=" + comp
+	c.hitC = o.Reg.Counter("cache", "hits", label)
+	c.missC = o.Reg.Counter("cache", "misses", label)
+	c.evictC = o.Reg.Counter("cache", "evictions", label)
 }
 
 // New builds a cache of the given total capacity. Capacity must be a
@@ -73,6 +104,10 @@ func (c *Cache) Access(addr int64) (hit bool, evicted int64) {
 		if c.valid[s][w] && c.tags[s][w] == line {
 			c.lastUse[s][w] = c.tick
 			c.Hits++
+			c.hitC.Inc()
+			if c.tracer.Enabled() {
+				c.tracer.Emit(c.now(), "cache", "hit", c.comp, 0)
+			}
 			return true, -1
 		}
 		if !c.valid[s][w] {
@@ -82,13 +117,22 @@ func (c *Cache) Access(addr int64) (hit bool, evicted int64) {
 		}
 	}
 	c.Misses++
+	c.missC.Inc()
 	evicted = -1
 	if c.valid[s][victim] {
 		evicted = c.tags[s][victim]
+		c.Evictions++
+		c.evictC.Inc()
 	}
 	c.tags[s][victim] = line
 	c.valid[s][victim] = true
 	c.lastUse[s][victim] = c.tick
+	if c.tracer.Enabled() {
+		c.tracer.Emit(c.now(), "cache", "miss", c.comp, 0)
+		if evicted >= 0 {
+			c.tracer.Emit(c.now(), "cache", "evict", c.comp, 0)
+		}
+	}
 	return false, evicted
 }
 

@@ -13,6 +13,7 @@ import (
 	"offchip/internal/ir"
 	"offchip/internal/layout"
 	"offchip/internal/noc"
+	"offchip/internal/obs"
 	"offchip/internal/sim"
 	"offchip/internal/trace"
 	"offchip/internal/workloads"
@@ -40,6 +41,15 @@ type Options struct {
 	// Contention disables NoC link contention when explicitly set false
 	// via NoContention (ablation).
 	NoContention bool
+	// Observer, when set, supplies the observability sink for each of the
+	// three runs ("baseline", "optimized", "optimal") — the hook the CLI
+	// uses to attach a tracer to one run. When it returns nil (or is unset)
+	// the run still gets a fresh registry-backed observer.
+	Observer func(run string) *obs.Observer
+	// OnProgress and ProgressEvery forward to sim.Config for live reporting;
+	// the run name is prepended so interleaved runs stay distinguishable.
+	OnProgress    func(run string, p sim.Progress)
+	ProgressEvery int64
 }
 
 // Metrics distills one simulation run.
@@ -88,6 +98,11 @@ type Comparison struct {
 	Baseline  Metrics
 	Optimized Metrics
 	Optimal   Metrics
+
+	// Observers holds each run's observability layer ("baseline",
+	// "optimized", "optimal") — the registries the -report dashboard and
+	// -metrics dump read from.
+	Observers map[string]*obs.Observer
 
 	// Compiler statistics (Table 2).
 	PctArraysOptimized float64
@@ -205,8 +220,24 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		return nil, fmt.Errorf("core: %s: %w", app.Name, err)
 	}
 
+	observers := map[string]*obs.Observer{}
+	attach := func(cfg *sim.Config, run string) {
+		var o *obs.Observer
+		if opt.Observer != nil {
+			o = opt.Observer(run)
+		}
+		o = obs.OrNew(o)
+		observers[run] = o
+		cfg.Obs = o
+		if opt.OnProgress != nil {
+			cfg.ProgressEvery = opt.ProgressEvery
+			cfg.OnProgress = func(p sim.Progress) { opt.OnProgress(run, p) }
+		}
+	}
+
 	cfg := SimConfig(m, cm, opt)
 	cfg.Policy = opt.BaselinePolicy
+	attach(&cfg, "baseline")
 	baseR, err := sim.Run(cfg, baseW)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s baseline: %w", app.Name, err)
@@ -217,6 +248,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		// The optimized run needs the OS-assisted policy (Section 5.3).
 		optCfg.Policy = sim.PolicyOSAssisted
 	}
+	attach(&optCfg, "optimized")
 	optR, err := sim.Run(optCfg, optW)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s optimized: %w", app.Name, err)
@@ -224,6 +256,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 
 	idealCfg := cfg
 	idealCfg.OptimalOffchip = true
+	attach(&idealCfg, "optimal")
 	idealR, err := sim.Run(idealCfg, baseW)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s optimal: %w", app.Name, err)
@@ -236,6 +269,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		Baseline:           distill(baseR),
 		Optimized:          distill(optR),
 		Optimal:            distill(idealR),
+		Observers:          observers,
 		PctArraysOptimized: res.PctArraysOptimized(),
 		PctRefsSatisfied:   res.PctRefsSatisfied(),
 	}, nil

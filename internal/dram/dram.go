@@ -4,12 +4,20 @@
 // misses; ties fall back to arrival order. Timing follows the shape of the
 // paper's Table 1 DDR3-1600 part: a row-buffer hit costs one CAS, a closed
 // bank adds activation, and a conflict adds precharge.
+//
+// Controllers publish through the observability registry: request mix
+// counters (row hits/misses/conflicts), per-bank served counts for the
+// -report hottest-bank table, and the Figure 18 queue occupancy as a
+// time-weighted gauge. With a tracer attached, every enqueue and every
+// bank service (tagged with its row outcome) becomes a trace event.
 package dram
 
 import (
 	"fmt"
+	"strconv"
 
 	"offchip/internal/engine"
+	"offchip/internal/obs"
 )
 
 // Config sets the controller parameters.
@@ -67,9 +75,11 @@ type bank struct {
 
 // Controller is one memory controller instance.
 type Controller struct {
-	ID  int
-	cfg Config
-	sim *engine.Sim
+	ID   int
+	cfg  Config
+	sim  *engine.Sim
+	obs  *obs.Observer
+	comp string // trace component name, "mc0"…
 
 	banks   []bank
 	pending []*request
@@ -78,23 +88,49 @@ type Controller struct {
 	// tests and diagnostics.
 	OnSubmit func(addr int64)
 
-	// Stats.
+	// Aggregate stats, mirrored into registry counters.
 	Served          int64 // requests completed
 	TotalMemLatency int64 // Σ (finish − arrive): the "memory latency" of Figure 4
 	TotalQueueWait  int64 // Σ (service start − arrive)
 	RowHits         int64
-	queueIntegral   int64 // Σ queueLen·dt, for Figure 18's queue occupancy
-	lastChange      int64
+
+	// Registry-backed statistics.
+	servedC    *obs.Counter
+	rowHitC    *obs.Counter
+	rowMissC   *obs.Counter
+	rowConflC  *obs.Counter
+	queueWaitC *obs.Counter
+	memLatC    *obs.Counter
+	queueLen   *obs.TimeWeighted // Figure 18's time-averaged queue length
+	bankServed []*obs.Counter
 }
 
-// New returns a controller bound to the simulation clock.
-func New(id int, cfg Config, sim *engine.Sim) *Controller {
+// New returns a controller bound to the simulation clock, publishing into
+// the observer (nil gets a private registry).
+func New(id int, cfg Config, sim *engine.Sim, o *obs.Observer) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{ID: id, cfg: cfg, sim: sim, banks: make([]bank, cfg.BanksPerMC)}
+	o = obs.OrNew(o)
+	c := &Controller{
+		ID: id, cfg: cfg, sim: sim, obs: o,
+		comp:  "mc" + strconv.Itoa(id),
+		banks: make([]bank, cfg.BanksPerMC),
+	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
+	}
+	mcLabel := "mc=" + strconv.Itoa(id)
+	c.servedC = o.Reg.Counter("dram", "served", mcLabel)
+	c.rowHitC = o.Reg.Counter("dram", "row_hits", mcLabel)
+	c.rowMissC = o.Reg.Counter("dram", "row_misses", mcLabel)
+	c.rowConflC = o.Reg.Counter("dram", "row_conflicts", mcLabel)
+	c.queueWaitC = o.Reg.Counter("dram", "queue_wait_cycles", mcLabel)
+	c.memLatC = o.Reg.Counter("dram", "mem_latency_cycles", mcLabel)
+	c.queueLen = o.Reg.TimeWeighted("dram", "queue_len", mcLabel)
+	c.bankServed = make([]*obs.Counter, cfg.BanksPerMC)
+	for b := range c.bankServed {
+		c.bankServed[b] = o.Reg.Counter("dram", "bank_served", mcLabel, "bank="+strconv.Itoa(b))
 	}
 	return c
 }
@@ -115,17 +151,15 @@ func (c *Controller) Submit(addr int64, onDone func(finish int64)) {
 		c.OnSubmit(addr)
 	}
 	b, row := c.bankOf(addr)
-	r := &request{addr: addr, arrive: c.sim.Now(), bank: b, row: row, onDone: onDone}
-	c.integrate()
-	c.pending = append(c.pending, r)
-	c.dispatch()
-}
-
-// integrate folds the elapsed time into the queue-length integral.
-func (c *Controller) integrate() {
 	now := c.sim.Now()
-	c.queueIntegral += int64(len(c.pending)) * (now - c.lastChange)
-	c.lastChange = now
+	r := &request{addr: addr, arrive: now, bank: b, row: row, onDone: onDone}
+	c.pending = append(c.pending, r)
+	c.queueLen.Set(now, int64(len(c.pending)))
+	if tr := c.obs.Tracer; tr.Enabled() {
+		tr.Emit(now, "dram", "enqueue", c.comp, 0,
+			"bank="+strconv.Itoa(b), "addr="+strconv.FormatInt(addr, 16))
+	}
+	c.dispatch()
 }
 
 // dispatch serves every idle bank its FR-FCFS pick.
@@ -140,18 +174,25 @@ func (c *Controller) dispatch() {
 			continue
 		}
 		r := c.pending[idx]
-		c.integrate()
 		c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
+		c.queueLen.Set(now, int64(len(c.pending)))
 
 		var dur int64
+		var outcome string
 		switch {
 		case c.banks[bi].openRow == r.row:
 			dur = c.cfg.TRowHit
+			outcome = "row-hit"
 			c.RowHits++
+			c.rowHitC.Inc()
 		case c.banks[bi].openRow == -1:
 			dur = c.cfg.TRowMiss
+			outcome = "row-miss"
+			c.rowMissC.Inc()
 		default:
 			dur = c.cfg.TRowConflict
+			outcome = "row-conflict"
+			c.rowConflC.Inc()
 		}
 		c.banks[bi].openRow = r.row
 		c.banks[bi].freeAt = now + dur
@@ -160,6 +201,13 @@ func (c *Controller) dispatch() {
 		c.Served++
 		c.TotalQueueWait += now - r.arrive
 		c.TotalMemLatency += finish - r.arrive
+		c.servedC.Inc()
+		c.bankServed[bi].Inc()
+		c.queueWaitC.Add(now - r.arrive)
+		c.memLatC.Add(finish - r.arrive)
+		if tr := c.obs.Tracer; tr.Enabled() {
+			tr.Emit(now, "dram", outcome, c.comp, dur, "bank="+strconv.Itoa(bi))
+		}
 		req := r
 		c.sim.At(finish, func() {
 			req.onDone(finish)
@@ -187,14 +235,14 @@ func (c *Controller) pick(bank int) int {
 }
 
 // QueueOccupancy returns the time-averaged queue length over [0, until]:
-// the bank queue utilization of Figure 18.
+// the bank queue utilization of Figure 18, read from the registry's
+// time-weighted gauge.
 func (c *Controller) QueueOccupancy(until int64) float64 {
-	if until <= 0 {
-		return 0
-	}
-	integral := c.queueIntegral + int64(len(c.pending))*(until-c.lastChange)
-	return float64(integral) / float64(until)
+	return c.queueLen.Avg(until)
 }
+
+// BankServed returns the number of requests the bank has completed.
+func (c *Controller) BankServed(bank int) int64 { return c.bankServed[bank].Value() }
 
 // AvgMemLatency returns the mean request latency (queue + service).
 func (c *Controller) AvgMemLatency() float64 {

@@ -8,7 +8,7 @@ import (
 
 func TestSingleRequestClosedBank(t *testing.T) {
 	var s engine.Sim
-	c := New(0, DefaultConfig(), &s)
+	c := New(0, DefaultConfig(), &s, nil)
 	var done int64 = -1
 	s.At(0, func() {
 		c.Submit(0, func(finish int64) { done = finish })
@@ -26,7 +26,7 @@ func TestRowBufferHitFasterThanConflict(t *testing.T) {
 	cfg := DefaultConfig()
 	run := func(second int64) (gap int64) {
 		var s engine.Sim
-		c := New(0, cfg, &s)
+		c := New(0, cfg, &s, nil)
 		var t1, t2 int64
 		s.At(0, func() { c.Submit(0, func(f int64) { t1 = f }) })
 		// Submit the second after the first completes, so no queueing.
@@ -41,7 +41,7 @@ func TestRowBufferHitFasterThanConflict(t *testing.T) {
 	// Same bank, different row: conflict. Find an address that the XOR
 	// bank permutation maps to bank 0 with a different row.
 	var s0 engine.Sim
-	probe := New(0, cfg, &s0)
+	probe := New(0, cfg, &s0, nil)
 	bank0, row0 := probe.bankOf(0)
 	conflictAddr := int64(-1)
 	for r := int64(1); r < 4096; r++ {
@@ -61,7 +61,7 @@ func TestRowBufferHitFasterThanConflict(t *testing.T) {
 func TestBanksServeInParallel(t *testing.T) {
 	cfg := DefaultConfig()
 	var s engine.Sim
-	c := New(0, cfg, &s)
+	c := New(0, cfg, &s, nil)
 	finishes := make([]int64, cfg.BanksPerMC)
 	s.At(0, func() {
 		for b := 0; b < cfg.BanksPerMC; b++ {
@@ -81,7 +81,7 @@ func TestBanksServeInParallel(t *testing.T) {
 func TestFRFCFSPrefersRowHit(t *testing.T) {
 	cfg := DefaultConfig()
 	var s engine.Sim
-	c := New(0, cfg, &s)
+	c := New(0, cfg, &s, nil)
 	var order []string
 	// Find a conflicting row for bank 0 under the XOR permutation.
 	bank0, row0 := c.bankOf(0)
@@ -114,7 +114,7 @@ func TestFRFCFSPrefersRowHit(t *testing.T) {
 func TestQueueWaitAccounted(t *testing.T) {
 	cfg := DefaultConfig()
 	var s engine.Sim
-	c := New(0, cfg, &s)
+	c := New(0, cfg, &s, nil)
 	var secondFinish int64
 	s.At(0, func() {
 		c.Submit(0, func(int64) {})
@@ -137,7 +137,7 @@ func TestQueueWaitAccounted(t *testing.T) {
 func TestQueueOccupancy(t *testing.T) {
 	cfg := DefaultConfig()
 	var s engine.Sim
-	c := New(0, cfg, &s)
+	c := New(0, cfg, &s, nil)
 	s.At(0, func() {
 		for i := 0; i < 8; i++ {
 			c.Submit(int64(i)*64, func(int64) {}) // all same bank/row area

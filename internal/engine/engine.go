@@ -10,9 +10,17 @@ import "container/heap"
 
 // Sim is a discrete-event simulator instance. The zero value is ready to use.
 type Sim struct {
-	now int64
-	seq int64
-	pq  eventQueue
+	now       int64
+	seq       int64
+	pq        eventQueue
+	processed int64
+
+	// ProgressEvery, when positive, makes Run call OnProgress after every
+	// ProgressEvery processed events — the hook live run reporting hangs
+	// off. OnProgress runs on the simulation goroutine, so it may read
+	// simulator state without synchronization.
+	ProgressEvery int64
+	OnProgress    func(now, processed int64)
 }
 
 type event struct {
@@ -56,12 +64,19 @@ func (s *Sim) Run() int64 {
 		e := heap.Pop(&s.pq).(event)
 		s.now = e.time
 		e.fn()
+		s.processed++
+		if s.ProgressEvery > 0 && s.OnProgress != nil && s.processed%s.ProgressEvery == 0 {
+			s.OnProgress(s.now, s.processed)
+		}
 	}
 	return s.now
 }
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.pq.Len() }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() int64 { return s.processed }
 
 // Resource models a FIFO-served hardware resource with a known per-use
 // occupancy (a mesh link, a DRAM bank, an MC port). Reserve books the next

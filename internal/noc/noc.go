@@ -5,6 +5,12 @@
 // at send time, which captures the first-order contention behavior the
 // paper measures (off-chip and on-chip traffic fighting over the same
 // links) at a fraction of the cost of flit-level simulation.
+//
+// All statistics publish through the observability registry: the Figure 15
+// hop histograms are registry histograms, and every directed link carries a
+// traversal counter that feeds the -report heat grid. When a tracer is
+// attached, each message emits a send event and each link traversal a
+// per-link event.
 package noc
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"offchip/internal/engine"
 	"offchip/internal/mesh"
+	"offchip/internal/obs"
 )
 
 // Config sets the network parameters (Table 1: 16-byte links, 2-cycle
@@ -26,6 +33,9 @@ type Config struct {
 	// Contention disables link reservation when false (the ablation knob:
 	// an ideal network with pure distance latency).
 	Contention bool
+	// Obs supplies the metrics registry and tracer. Nil gets the network a
+	// private registry, so standalone use stays fully observable.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper's Table 1 network for the given mesh.
@@ -58,13 +68,23 @@ func (c Class) String() string {
 // Network is the mesh NoC.
 type Network struct {
 	cfg   Config
+	obs   *obs.Observer
 	links []engine.Resource // directed links, indexed by linkIndex
 
-	// Stats, split by message class.
-	Messages [2]int64   // message count
-	Hops     [2]int64   // total hops
-	Latency  [2]int64   // total network cycles (incl. contention stalls)
-	HopsHist [2][]int64 // messages by hop count
+	// Aggregate stats, split by message class; mirrored into the registry
+	// counters below.
+	Messages [2]int64 // message count
+	Hops     [2]int64 // total hops
+	Latency  [2]int64 // total network cycles (incl. contention stalls)
+
+	// Registry-backed statistics: the Figure 15 hop histograms and the
+	// per-link traversal counters behind the -report heat grid.
+	hopHist   [2]*obs.Histogram
+	msgCount  [2]*obs.Counter
+	hopCount  [2]*obs.Counter
+	latCount  [2]*obs.Counter
+	linkCount []*obs.Counter
+	linkName  []string // precomputed "(x,y)->(x,y)" for trace events
 }
 
 // New builds a network. It panics on a non-positive mesh.
@@ -73,12 +93,36 @@ func New(cfg Config) *Network {
 		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cfg.MeshX, cfg.MeshY))
 	}
 	maxHops := cfg.MeshX + cfg.MeshY // diameter + 1 slack
+	o := obs.OrNew(cfg.Obs)
 	n := &Network{
-		cfg:   cfg,
-		links: make([]engine.Resource, cfg.MeshX*cfg.MeshY*4),
+		cfg:       cfg,
+		obs:       o,
+		links:     make([]engine.Resource, cfg.MeshX*cfg.MeshY*4),
+		linkCount: make([]*obs.Counter, cfg.MeshX*cfg.MeshY*4),
+		linkName:  make([]string, cfg.MeshX*cfg.MeshY*4),
 	}
-	for c := range n.HopsHist {
-		n.HopsHist[c] = make([]int64, maxHops+1)
+	for c := 0; c < 2; c++ {
+		label := "class=" + Class(c).String()
+		n.hopHist[c] = o.Reg.Histogram("noc", "hops", obs.LinearBuckets(0, 1, maxHops+1), label)
+		n.msgCount[c] = o.Reg.Counter("noc", "messages", label)
+		n.hopCount[c] = o.Reg.Counter("noc", "hops_total", label)
+		n.latCount[c] = o.Reg.Counter("noc", "latency_cycles", label)
+	}
+	dirDelta := [4]mesh.Node{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+	for y := 0; y < cfg.MeshY; y++ {
+		for x := 0; x < cfg.MeshX; x++ {
+			from := mesh.Node{X: x, Y: y}
+			base := mesh.CoreID(from, cfg.MeshX) * 4
+			for d, delta := range dirDelta {
+				to := mesh.Node{X: x + delta.X, Y: y + delta.Y}
+				if to.X < 0 || to.X >= cfg.MeshX || to.Y < 0 || to.Y >= cfg.MeshY {
+					continue // mesh edge: no link in this direction
+				}
+				n.linkCount[base+d] = o.Reg.Counter("noc", "link_traversals",
+					"from="+from.String(), "to="+to.String())
+				n.linkName[base+d] = from.String() + "->" + to.String()
+			}
+		}
 	}
 	return n
 }
@@ -116,14 +160,22 @@ func (n *Network) linkIndex(from, to mesh.Node) int {
 // A zero-hop transit (src == dst) arrives immediately.
 func (n *Network) Transit(now int64, src, dst mesh.Node, class Class) (arrival int64, hops int) {
 	path := mesh.XYPath(src, dst)
+	tr := n.obs.Tracer
 	t := now
 	prev := src
 	for _, next := range path {
+		li := n.linkIndex(prev, next)
+		n.linkCount[li].Inc()
 		if n.cfg.Contention {
-			li := n.linkIndex(prev, next)
 			start := n.links[li].Reserve(t, n.cfg.LinkOccupancy)
+			if tr.Enabled() {
+				tr.Emit(start, "noc", "link", n.linkName[li], n.cfg.LinkOccupancy+n.cfg.HopLatency)
+			}
 			t = start + n.cfg.HopLatency
 		} else {
+			if tr.Enabled() {
+				tr.Emit(t, "noc", "link", n.linkName[li], n.cfg.HopLatency)
+			}
 			t += n.cfg.HopLatency
 		}
 		prev = next
@@ -132,10 +184,13 @@ func (n *Network) Transit(now int64, src, dst mesh.Node, class Class) (arrival i
 	n.Messages[class]++
 	n.Hops[class] += int64(hops)
 	n.Latency[class] += t - now
-	if hops < len(n.HopsHist[class]) {
-		n.HopsHist[class][hops]++
-	} else {
-		n.HopsHist[class][len(n.HopsHist[class])-1]++
+	n.msgCount[class].Inc()
+	n.hopCount[class].Add(int64(hops))
+	n.latCount[class].Add(t - now)
+	n.hopHist[class].Observe(int64(hops))
+	if tr.Enabled() {
+		tr.Emit(now, "noc", "msg", src.String()+"->"+dst.String(), t-now,
+			"class="+class.String(), fmt.Sprintf("hops=%d", hops))
 	}
 	return t, hops
 }
@@ -157,30 +212,34 @@ func (n *Network) AvgHops(class Class) float64 {
 }
 
 // HopCDF returns the cumulative fraction of the class's messages that
-// traverse x or fewer links, for x = 0..len-1 (Figure 15).
+// traverse x or fewer links, for x = 0..len-1 (Figure 15). It is rendered
+// from the registry histogram.
 func (n *Network) HopCDF(class Class) []float64 {
-	hist := n.HopsHist[class]
-	out := make([]float64, len(hist))
-	var cum, total int64
-	for _, c := range hist {
-		total += c
-	}
-	if total == 0 {
-		return out
-	}
-	for i, c := range hist {
-		cum += c
-		out[i] = float64(cum) / float64(total)
-	}
-	return out
+	cdf := n.hopHist[class].CDF()
+	// The histogram carries an overflow bucket beyond the 0..maxHops
+	// bounds; XY routing can never exceed the mesh diameter, so fold it
+	// away to preserve the historical shape (one entry per hop count).
+	return cdf[:len(cdf)-1]
+}
+
+// HopHistogram returns the registry histogram of the class's hop counts.
+func (n *Network) HopHistogram(class Class) *obs.Histogram { return n.hopHist[class] }
+
+// LinkTraversals returns the traversal count of the directed link from→to.
+func (n *Network) LinkTraversals(from, to mesh.Node) int64 {
+	return n.linkCount[n.linkIndex(from, to)].Value()
 }
 
 // ResetStats clears the accumulated statistics (links keep their horizon).
 func (n *Network) ResetStats() {
 	for c := 0; c < 2; c++ {
 		n.Messages[c], n.Hops[c], n.Latency[c] = 0, 0, 0
-		for i := range n.HopsHist[c] {
-			n.HopsHist[c][i] = 0
-		}
+		n.hopHist[c].Reset()
+		n.msgCount[c].Reset()
+		n.hopCount[c].Reset()
+		n.latCount[c].Reset()
+	}
+	for _, lc := range n.linkCount {
+		lc.Reset()
 	}
 }

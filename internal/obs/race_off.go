@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead-guard benchmark assertion is relaxed under -race, where every
+// memory access carries instrumentation cost.
+const raceEnabled = false

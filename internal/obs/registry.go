@@ -1,0 +1,483 @@
+// Package obs is the simulator-wide observability layer: a lock-cheap
+// metrics registry (counters, gauges, time-weighted gauges, and fixed-bucket
+// histograms, keyed by component/name/labels) and a structured event tracer
+// that streams simulation events to JSONL and to Chrome trace_event format
+// (chrome://tracing, Perfetto). Every simulation substrate — engine, NoC,
+// caches, memory controllers, and the sim front end — publishes through it,
+// and the paper's Figure 13/15/18 data is rendered *from* this layer rather
+// than from bespoke per-component stat fields.
+//
+// Handles are obtained once at component construction and updated with
+// atomic operations on the hot path; every handle method is nil-safe, so an
+// uninstrumented component pays only a nil check. The disabled-tracer path
+// is benchmarked to stay under 5 ns/event (see BenchmarkTracerDisabled).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// all methods are nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is a point-in-time value. All methods are nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// TimeWeighted is a gauge that integrates its value over simulated time, so
+// a time-averaged level (bank-queue occupancy, outstanding misses) can be
+// read at the end of a run. The writer supplies the simulation clock on
+// every Set; reads may race with writes only across runs, so a small mutex
+// suffices.
+type TimeWeighted struct {
+	mu       sync.Mutex
+	integral int64 // Σ value·dt up to last
+	last     int64
+	cur      int64
+}
+
+// Set records that the level changed to value at time now. Time must be
+// non-decreasing across calls.
+func (g *TimeWeighted) Set(now, value int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.integral += g.cur * (now - g.last)
+	g.last = now
+	g.cur = value
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *TimeWeighted) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Avg returns the time-averaged level over [0, until], extending the last
+// recorded level to until. A non-positive until yields 0.
+func (g *TimeWeighted) Avg(until int64) float64 {
+	if g == nil || until <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	integral := g.integral + g.cur*(until-g.last)
+	g.mu.Unlock()
+	return float64(integral) / float64(until)
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts values
+// v ≤ bounds[i] (and > bounds[i-1]); one implicit overflow bucket catches
+// values above the last bound. All methods are nil-safe.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d", i))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, ….
+func LinearBuckets(start, width int64, n int) []int64 {
+	if n <= 0 || width <= 0 {
+		panic("obs: linear buckets need n > 0, width > 0")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)*width
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search is overkill for the short fixed bucket lists the
+	// simulator uses (hop counts, latency decades); scan instead.
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Counts returns the per-bucket counts; the final element is the overflow
+// bucket.
+func (h *Histogram) Counts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// CDF returns, for each bucket (overflow included), the cumulative fraction
+// of observations at or below its bound. Empty histograms yield all zeros.
+func (h *Histogram) CDF() []float64 {
+	if h == nil {
+		return nil
+	}
+	counts := h.Counts()
+	out := make([]float64, len(counts))
+	var total, cum int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// Reset zeroes every bucket.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.total.Store(0)
+}
+
+// metric is one registered instrument.
+type metric struct {
+	component string
+	name      string
+	labels    map[string]string
+	kind      string
+
+	counter *Counter
+	gauge   *Gauge
+	tw      *TimeWeighted
+	hist    *Histogram
+}
+
+// Registry holds every registered metric, keyed by component, name, and
+// labels. Registration takes a mutex; the returned handles are lock-free.
+// Registering the same key twice returns the same handle, so components can
+// be rebuilt against a shared registry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// keyOf canonicalizes the metric identity. Labels are "k=v" pairs.
+func keyOf(component, name string, labels []string) (string, map[string]string) {
+	lm := make(map[string]string, len(labels))
+	for _, l := range labels {
+		k, v, ok := strings.Cut(l, "=")
+		if !ok {
+			panic(fmt.Sprintf("obs: label %q is not k=v", l))
+		}
+		lm[k] = v
+	}
+	keys := make([]string, 0, len(lm))
+	for k := range lm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(component)
+	b.WriteByte('/')
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(lm[k])
+	}
+	b.WriteByte('}')
+	return b.String(), lm
+}
+
+func (r *Registry) register(component, name, kind string, labels []string) *metric {
+	key, lm := keyOf(component, name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", key, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{component: component, name: name, labels: lm, kind: kind}
+	r.metrics[key] = m
+	return m
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(component, name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(component, name, "counter", labels)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(component, name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(component, name, "gauge", labels)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// TimeWeighted registers (or finds) a time-weighted gauge.
+func (r *Registry) TimeWeighted(component, name string, labels ...string) *TimeWeighted {
+	if r == nil {
+		return nil
+	}
+	m := r.register(component, name, "timeweighted", labels)
+	if m.tw == nil {
+		m.tw = &TimeWeighted{}
+	}
+	return m.tw
+}
+
+// Histogram registers (or finds) a histogram with the given bucket bounds.
+// A second registration of the same key keeps the original bounds.
+func (r *Registry) Histogram(component, name string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(component, name, "histogram", labels)
+	if m.hist == nil {
+		m.hist = newHistogram(bounds)
+	}
+	return m.hist
+}
+
+// Point is one metric's exported state, as serialized to the JSONL metrics
+// dump. Counters and gauges fill Value; time-weighted gauges also fill Avg
+// (over [0, until] as passed to Snapshot); histograms fill Buckets, Counts,
+// Sum, and Count.
+type Point struct {
+	Run       string            `json:"run,omitempty"`
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Type      string            `json:"type"`
+	Value     int64             `json:"value,omitempty"`
+	Avg       float64           `json:"avg,omitempty"`
+	Buckets   []int64           `json:"buckets,omitempty"`
+	Counts    []int64           `json:"counts,omitempty"`
+	Sum       int64             `json:"sum,omitempty"`
+	Count     int64             `json:"count,omitempty"`
+}
+
+// Snapshot exports every metric, sorted by component/name/labels for
+// deterministic output. until is the run's end time, used to close out
+// time-weighted averages (0 is fine when none are registered).
+func (r *Registry) Snapshot(until int64) []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ms := make([]*metric, len(keys))
+	for i, k := range keys {
+		ms[i] = r.metrics[k]
+	}
+	r.mu.Unlock()
+
+	out := make([]Point, 0, len(ms))
+	for _, m := range ms {
+		p := Point{Component: m.component, Name: m.name, Labels: m.labels, Type: m.kind}
+		switch m.kind {
+		case "counter":
+			p.Value = m.counter.Value()
+		case "gauge":
+			p.Value = m.gauge.Value()
+		case "timeweighted":
+			p.Value = m.tw.Value()
+			p.Avg = m.tw.Avg(until)
+		case "histogram":
+			p.Buckets = m.hist.Bounds()
+			p.Counts = m.hist.Counts()
+			p.Sum = m.hist.Sum()
+			p.Count = m.hist.Total()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line for each point.
+func WriteJSONL(w io.Writer, points []Point) error {
+	enc := json.NewEncoder(w)
+	for i := range points {
+		if err := enc.Encode(&points[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sum adds the values of every counter matching component/name across all
+// label sets — e.g. total link traversals over the whole mesh.
+func (r *Registry) Sum(component, name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s int64
+	for _, m := range r.metrics {
+		if m.component == component && m.name == name && m.counter != nil {
+			s += m.counter.Value()
+		}
+	}
+	return s
+}
+
+// Observer bundles the registry with an optional tracer; it is the single
+// handle the simulation substrates take.
+type Observer struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// New returns an observer with a fresh registry and no tracer.
+func New() *Observer { return &Observer{Reg: NewRegistry()} }
+
+// OrNew returns o, or a fresh observer when o is nil — the pattern every
+// substrate constructor uses so standalone use stays registry-backed.
+func OrNew(o *Observer) *Observer {
+	if o == nil {
+		return New()
+	}
+	return o
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"offchip/internal/stats"
+)
+
+// This file renders the post-run text dashboard (`offchip -report`) from
+// registry contents: the per-link heat grid of the mesh, the per-MC request
+// mix, the hottest DRAM banks, and baseline-vs-optimized metric diffs.
+
+// selectPoints returns the snapshot points matching component/name.
+func selectPoints(reg *Registry, until int64, component, name string) []Point {
+	var out []Point
+	for _, p := range reg.Snapshot(until) {
+		if p.Component == component && p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseNode parses a "(x,y)" label value.
+func parseNode(s string) (x, y int, ok bool) {
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	a, b, found := strings.Cut(s, ",")
+	if !found {
+		return 0, 0, false
+	}
+	x, err1 := strconv.Atoi(a)
+	y, err2 := strconv.Atoi(b)
+	return x, y, err1 == nil && err2 == nil
+}
+
+// LinkHeatGrid renders the mesh as a grid with the traversal count of every
+// link (both directions summed) printed between its endpoints — the
+// congestion view behind Figure 15's hop distributions. Counts come from
+// the "noc/link_traversals" counters.
+func LinkHeatGrid(reg *Registry, meshX, meshY int) string {
+	type edge struct{ x, y int } // undirected: (x,y)→east and (x,y)→south
+	horiz := map[edge]int64{}
+	vert := map[edge]int64{}
+	for _, p := range selectPoints(reg, 0, "noc", "link_traversals") {
+		fx, fy, ok1 := parseNode(p.Labels["from"])
+		tx, ty, ok2 := parseNode(p.Labels["to"])
+		if !ok1 || !ok2 {
+			continue
+		}
+		switch {
+		case fy == ty && (tx == fx+1 || tx == fx-1):
+			x := min(fx, tx)
+			horiz[edge{x, fy}] += p.Value
+		case fx == tx && (ty == fy+1 || ty == fy-1):
+			y := min(fy, ty)
+			vert[edge{fx, y}] += p.Value
+		}
+	}
+
+	const cellW, gapW = 5, 8 // "[ 63]" and " 123456 "
+	var b strings.Builder
+	b.WriteString("== per-link heat (traversals, both directions) ==\n")
+	for y := 0; y < meshY; y++ {
+		for x := 0; x < meshX; x++ {
+			fmt.Fprintf(&b, "[%3d]", y*meshX+x)
+			if x+1 < meshX {
+				fmt.Fprintf(&b, "%*d ", gapW-1, horiz[edge{x, y}])
+			}
+		}
+		b.WriteByte('\n')
+		if y+1 < meshY {
+			for x := 0; x < meshX; x++ {
+				fmt.Fprintf(&b, "%*d", cellW, vert[edge{x, y}])
+				if x+1 < meshX {
+					b.WriteString(strings.Repeat(" ", gapW))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// HottestLinks returns the top-k directed links by traversal count.
+func HottestLinks(reg *Registry, k int) *stats.Table {
+	pts := selectPoints(reg, 0, "noc", "link_traversals")
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Value != pts[j].Value {
+			return pts[i].Value > pts[j].Value
+		}
+		return pts[i].Labels["from"]+pts[i].Labels["to"] < pts[j].Labels["from"]+pts[j].Labels["to"]
+	})
+	t := &stats.Table{
+		Title:   fmt.Sprintf("top-%d hottest links", k),
+		Headers: []string{"link", "traversals"},
+	}
+	for i, p := range pts {
+		if i >= k || p.Value == 0 {
+			break
+		}
+		t.AddF(p.Labels["from"]+"->"+p.Labels["to"], p.Value)
+	}
+	return t
+}
+
+// MCRequestMix renders the per-controller request mix: served requests and
+// how they split into row hits, misses, and conflicts, plus the
+// time-averaged queue occupancy of Figure 18.
+func MCRequestMix(reg *Registry, until int64) *stats.Table {
+	served := selectPoints(reg, until, "dram", "served")
+	byMC := func(name string) map[string]int64 {
+		m := map[string]int64{}
+		for _, p := range selectPoints(reg, until, "dram", name) {
+			m[p.Labels["mc"]] = p.Value
+		}
+		return m
+	}
+	hits, misses, conflicts := byMC("row_hits"), byMC("row_misses"), byMC("row_conflicts")
+	occ := map[string]float64{}
+	for _, p := range selectPoints(reg, until, "dram", "queue_len") {
+		occ[p.Labels["mc"]] = p.Avg
+	}
+	sort.Slice(served, func(i, j int) bool { return served[i].Labels["mc"] < served[j].Labels["mc"] })
+	t := &stats.Table{
+		Title:   "per-MC request mix (Figure 18 occupancy)",
+		Headers: []string{"mc", "served", "row-hit", "row-miss", "row-conflict", "hit%", "avg queue occ"},
+	}
+	for _, p := range served {
+		mc := p.Labels["mc"]
+		hitPct := 0.0
+		if p.Value > 0 {
+			hitPct = 100 * float64(hits[mc]) / float64(p.Value)
+		}
+		t.AddF("mc"+mc, p.Value, hits[mc], misses[mc], conflicts[mc],
+			fmt.Sprintf("%.1f", hitPct), fmt.Sprintf("%.2f", occ[mc]))
+	}
+	return t
+}
+
+// HottestBanks returns the top-k DRAM banks by served requests.
+func HottestBanks(reg *Registry, k int) *stats.Table {
+	pts := selectPoints(reg, 0, "dram", "bank_served")
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Value != pts[j].Value {
+			return pts[i].Value > pts[j].Value
+		}
+		if pts[i].Labels["mc"] != pts[j].Labels["mc"] {
+			return pts[i].Labels["mc"] < pts[j].Labels["mc"]
+		}
+		return pts[i].Labels["bank"] < pts[j].Labels["bank"]
+	})
+	t := &stats.Table{
+		Title:   fmt.Sprintf("top-%d hottest banks", k),
+		Headers: []string{"mc", "bank", "served"},
+	}
+	for i, p := range pts {
+		if i >= k || p.Value == 0 {
+			break
+		}
+		t.AddF("mc"+p.Labels["mc"], p.Labels["bank"], p.Value)
+	}
+	return t
+}
+
+// HopCDFTable renders the Figure 15 link-traversal distribution from the
+// registry's "noc/hops" histograms: the cumulative fraction of messages of
+// each class that traverse x or fewer links.
+func HopCDFTable(reg *Registry) *stats.Table {
+	t := &stats.Table{
+		Title:   "hop CDF (Figure 15, from the registry)",
+		Headers: []string{"class", "hops", "cum%"},
+	}
+	pts := selectPoints(reg, 0, "noc", "hops")
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Labels["class"] < pts[j].Labels["class"] })
+	for _, p := range pts {
+		if p.Count == 0 {
+			continue
+		}
+		var cum int64
+		for i, c := range p.Counts {
+			cum += c
+			if c == 0 {
+				continue
+			}
+			bound := "overflow"
+			if i < len(p.Buckets) {
+				bound = strconv.FormatInt(p.Buckets[i], 10)
+			}
+			t.AddF(p.Labels["class"], bound, fmt.Sprintf("%.1f", 100*float64(cum)/float64(p.Count)))
+		}
+	}
+	return t
+}
+
+// DiffTable aggregates every counter by component/name (summing across
+// label sets) and tabulates baseline vs optimized values with the
+// fractional change — the structural diff of two runs.
+func DiffTable(base, opt *Registry) *stats.Table {
+	aggregate := func(reg *Registry) map[string]int64 {
+		m := map[string]int64{}
+		for _, p := range reg.Snapshot(0) {
+			if p.Type != "counter" {
+				continue
+			}
+			m[p.Component+"/"+p.Name] += p.Value
+		}
+		return m
+	}
+	a, b := aggregate(base), aggregate(opt)
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	t := &stats.Table{
+		Title:   "baseline vs optimized (counters, summed over labels)",
+		Headers: []string{"metric", "baseline", "optimized", "change"},
+	}
+	for _, k := range keys {
+		change := "n/a"
+		if a[k] != 0 {
+			change = stats.Pct(float64(b[k]-a[k]) / float64(a[k]))
+		}
+		t.AddF(k, a[k], b[k], change)
+	}
+	return t
+}

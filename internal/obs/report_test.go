@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// demoRegistry builds a registry shaped like a tiny 2x2-mesh run.
+func demoRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("noc", "link_traversals", "from=(0,0)", "to=(1,0)").Add(10)
+	reg.Counter("noc", "link_traversals", "from=(1,0)", "to=(0,0)").Add(5)
+	reg.Counter("noc", "link_traversals", "from=(0,0)", "to=(0,1)").Add(7)
+	reg.Counter("noc", "link_traversals", "from=(1,1)", "to=(1,0)").Add(2)
+	reg.Counter("dram", "served", "mc=0").Add(100)
+	reg.Counter("dram", "row_hits", "mc=0").Add(60)
+	reg.Counter("dram", "row_misses", "mc=0").Add(10)
+	reg.Counter("dram", "row_conflicts", "mc=0").Add(30)
+	reg.TimeWeighted("dram", "queue_len", "mc=0").Set(0, 3)
+	reg.Counter("dram", "bank_served", "mc=0", "bank=0").Add(70)
+	reg.Counter("dram", "bank_served", "mc=0", "bank=1").Add(30)
+	h := reg.Histogram("noc", "hops", LinearBuckets(0, 1, 4), "class=off-chip")
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(3)
+	return reg
+}
+
+func TestLinkHeatGrid(t *testing.T) {
+	out := LinkHeatGrid(demoRegistry(), 2, 2)
+	// Both directions of (0,0)<->(1,0) sum to 15.
+	if !strings.Contains(out, "15") {
+		t.Errorf("horizontal sum missing:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Errorf("vertical link missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[  0]") || !strings.Contains(out, "[  3]") {
+		t.Errorf("node cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + cells / vlinks / cells
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestMCRequestMix(t *testing.T) {
+	out := MCRequestMix(demoRegistry(), 10).String()
+	for _, want := range []string{"mc0", "100", "60", "30", "60.0", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHottestBanks(t *testing.T) {
+	out := HottestBanks(demoRegistry(), 10).String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + two banks.
+	if len(lines) != 5 {
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+	// Sorted descending: bank 0 (70) before bank 1 (30).
+	if strings.Index(out, "70") > strings.Index(out, "30") {
+		t.Errorf("banks not sorted:\n%s", out)
+	}
+}
+
+func TestHottestLinks(t *testing.T) {
+	out := HottestLinks(demoRegistry(), 2).String()
+	if !strings.Contains(out, "(0,0)->(1,0)") || !strings.Contains(out, "10") {
+		t.Errorf("hottest link missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // capped at top-2
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestHopCDFTable(t *testing.T) {
+	out := HopCDFTable(demoRegistry()).String()
+	// 2 of 3 messages at ≤1 hop (66.7%), all at ≤3 (100.0%).
+	if !strings.Contains(out, "66.7") || !strings.Contains(out, "100.0") {
+		t.Errorf("CDF values missing:\n%s", out)
+	}
+}
+
+func TestDiffTable(t *testing.T) {
+	base := demoRegistry()
+	opt := NewRegistry()
+	opt.Counter("dram", "served", "mc=0").Add(50)
+	opt.Counter("dram", "row_hits", "mc=0").Add(50)
+	opt.Counter("obs", "new_metric").Add(1)
+	out := DiffTable(base, opt).String()
+	if !strings.Contains(out, "dram/served") || !strings.Contains(out, "-50.0%") {
+		t.Errorf("diff missing:\n%s", out)
+	}
+	// Metrics absent on one side still appear.
+	if !strings.Contains(out, "obs/new_metric") || !strings.Contains(out, "n/a") {
+		t.Errorf("one-sided metric missing:\n%s", out)
+	}
+	// Label-heavy metrics aggregate to one row per component/name.
+	if strings.Count(out, "link_traversals") != 1 {
+		t.Errorf("aggregation failed:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// emitFixture produces a small deterministic event sequence covering both
+// duration ("X") and instant ("i") phases, args, and repeated components.
+func emitFixture(tr *Tracer) {
+	tr.Emit(0, "noc", "msg", "(0,0)->(1,0)", 5, "class=off-chip", "hops=1")
+	tr.Emit(3, "dram", "enqueue", "mc0", 0, "bank=2")
+	tr.Emit(3, "dram", "row-hit", "mc0", 20, "bank=2")
+	tr.Emit(10, "cache", "hit", "l1.0", 0)
+	tr.Emit(25, "core", "retire", "core0", 0)
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{Chrome: &buf})
+	emitFixture(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The output must be a loadable trace: a JSON array of objects with the
+	// trace_event fields chrome://tracing requires.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var xEvents, metadata int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			metadata++
+		case "X":
+			xEvents++
+			if ev["dur"] == nil || ev["ts"] == nil {
+				t.Errorf("X event missing ts/dur: %v", ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Errorf("instant event missing scope: %v", ev)
+			}
+		default:
+			t.Errorf("unknown phase %v", ev["ph"])
+		}
+	}
+	if xEvents != 2 {
+		t.Errorf("%d duration events, want 2", xEvents)
+	}
+	// One thread_name metadata record per distinct component:
+	// the link, mc0, l1.0, and core0.
+	if metadata != 4 {
+		t.Errorf("%d metadata events, want 4", metadata)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{JSONL: &buf})
+	emitFixture(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cat != "noc" || ev.Name != "msg" || ev.Dur != 5 || len(ev.Args) != 2 {
+		t.Errorf("first event = %+v", ev)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 100, Sample: 10})
+	for i := 0; i < 95; i++ {
+		tr.Emit(int64(i), "c", "n", "comp", 0)
+	}
+	if tr.Seen() != 95 {
+		t.Errorf("seen = %d", tr.Seen())
+	}
+	if tr.Kept() != 10 { // events 0, 10, …, 90
+		t.Errorf("kept = %d", tr.Kept())
+	}
+	evs := tr.Events()
+	if len(evs) != 10 || evs[0].TS != 0 || evs[9].TS != 90 {
+		t.Errorf("ring contents: %v", evs)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), "c", "n", "comp", 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring length %d", len(evs))
+	}
+	for i, want := range []int64{6, 7, 8, 9} {
+		if evs[i].TS != want {
+			t.Errorf("ring[%d].TS = %d, want %d", i, evs[i].TS, want)
+		}
+	}
+}
+
+func TestWriteChromeFromRing(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 16})
+	emitFixture(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("ring chrome dump not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("empty ring dump")
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	tr.Emit(1, "a", "b", "c", 0) // must not panic
+	if tr.Seen() != 0 || tr.Kept() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded something")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+}
+
+func TestEmptyTraceCloses(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerOptions{Chrome: &buf})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace not valid JSON: %q", buf.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("%d events in empty trace", len(events))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"offchip/internal/mem"
 	"offchip/internal/mesh"
 	"offchip/internal/noc"
+	"offchip/internal/obs"
 )
 
 // PolicyKind selects the page allocation policy under page interleaving.
@@ -78,6 +79,23 @@ type Config struct {
 
 	// DebugMC0, when set, observes every local address submitted to MC0.
 	DebugMC0 func(addr int64)
+
+	// Obs supplies the observability layer (metrics registry + tracer) every
+	// substrate publishes through. Nil gets the run a private registry, so
+	// the Figure 13/15/18 statistics are always registry-backed.
+	Obs *obs.Observer
+
+	// OnProgress, when set, is called from the simulation loop every
+	// ProgressEvery processed events (default 1<<16) with live run status.
+	OnProgress    func(Progress)
+	ProgressEvery int64
+}
+
+// Progress is a live status sample of a running simulation.
+type Progress struct {
+	Cycles      int64 // simulated cycles so far
+	Events      int64 // engine events processed
+	Outstanding int   // memory accesses currently in flight
 }
 
 // DefaultConfig returns the paper's Table 1 machine around the given
@@ -238,6 +256,7 @@ type machine struct {
 	cfg    Config
 	memCfg mem.Config
 	sim    *engine.Sim
+	obs    *obs.Observer
 	net    *noc.Network
 	mcs    []*dram.Controller
 	l1s    []*cache.Cache
@@ -247,7 +266,25 @@ type machine struct {
 	cores  []*coreState
 	res    *Result
 
+	// Registry-backed statistics: the Figure 13 access map plus the access
+	// outcome counters; coreComp holds precomputed trace component names.
+	accessMap [][]*obs.Counter
+	totalC    *obs.Counter
+	l2LocalC  *obs.Counter
+	remoteC   *obs.Counter
+	offChipC  *obs.Counter
+	coreComp  []string
+
 	running int // streams not yet finished
+}
+
+// totalOutstanding sums in-flight accesses across cores (live reporting).
+func (m *machine) totalOutstanding() int {
+	var n int
+	for _, cs := range m.cores {
+		n += cs.outstanding
+	}
+	return n
 }
 
 // Run simulates the workload on the configured machine.
@@ -262,10 +299,14 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		}
 	}
 
+	o := obs.OrNew(cfg.Obs)
+	nocCfg := cfg.NoC
+	nocCfg.Obs = o
 	m := &machine{
 		cfg:    cfg,
 		sim:    &engine.Sim{},
-		net:    noc.New(cfg.NoC),
+		obs:    o,
+		net:    noc.New(nocCfg),
 		dir:    cache.NewDirectory(),
 		spaces: map[int]*mem.AddressSpace{},
 		res: &Result{
@@ -273,19 +314,44 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 			AccessMap:   make([][]int64, cores),
 		},
 	}
+	m.totalC = o.Reg.Counter("sim", "accesses")
+	m.l2LocalC = o.Reg.Counter("sim", "l2_local_hits")
+	m.remoteC = o.Reg.Counter("sim", "onchip_remote")
+	m.offChipC = o.Reg.Counter("sim", "offchip")
+	m.accessMap = make([][]*obs.Counter, cores)
 	for i := range m.res.AccessMap {
 		m.res.AccessMap[i] = make([]int64, cfg.Machine.NumMCs)
+		m.accessMap[i] = make([]*obs.Counter, cfg.Machine.NumMCs)
+		for mc := range m.accessMap[i] {
+			m.accessMap[i][mc] = o.Reg.Counter("sim", "offchip_requests",
+				fmt.Sprintf("node=%d", i), fmt.Sprintf("mc=%d", mc))
+		}
 	}
 	for i := 0; i < cfg.Machine.NumMCs; i++ {
-		m.mcs = append(m.mcs, dram.New(i, cfg.DRAM, m.sim))
+		m.mcs = append(m.mcs, dram.New(i, cfg.DRAM, m.sim, o))
 	}
 	if cfg.DebugMC0 != nil {
 		m.mcs[0].OnSubmit = cfg.DebugMC0
 	}
 	for i := 0; i < cores; i++ {
-		m.l1s = append(m.l1s, cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways))
-		m.l2s = append(m.l2s, cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways))
+		l1 := cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways)
+		l2 := cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways)
+		l1.Instrument(o, fmt.Sprintf("l1.%d", i), m.sim.Now)
+		l2.Instrument(o, fmt.Sprintf("l2.%d", i), m.sim.Now)
+		m.l1s = append(m.l1s, l1)
+		m.l2s = append(m.l2s, l2)
 		m.cores = append(m.cores, &coreState{})
+		m.coreComp = append(m.coreComp, fmt.Sprintf("core%d", i))
+	}
+	if cfg.OnProgress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = 1 << 16
+		}
+		m.sim.ProgressEvery = every
+		m.sim.OnProgress = func(now, processed int64) {
+			cfg.OnProgress(Progress{Cycles: now, Events: processed, Outstanding: m.totalOutstanding()})
+		}
 	}
 
 	m.memCfg = mem.Config{
@@ -412,6 +478,17 @@ func (m *machine) tryIssue(core int) {
 		done := ss.done
 		m.sim.At(t, func() { m.process(core, app, acc, done) })
 	}
+	// Window full with work remaining: the core stalls until a miss returns.
+	// (Do not use nextReady here — it advances the round-robin pointer, and
+	// tracing must never perturb the simulation.)
+	if tr := m.obs.Tracer; tr.Enabled() {
+		for _, ss := range cs.streams {
+			if !ss.done {
+				tr.Emit(m.sim.Now(), "core", "stall", m.coreComp[core], 0)
+				break
+			}
+		}
+	}
 }
 
 // nextReady picks the core's next stream with work, round-robin.
@@ -431,6 +508,9 @@ func (m *machine) nextReady(cs *coreState) *streamState {
 func (m *machine) complete(core, app int, last bool) {
 	cs := m.cores[core]
 	cs.outstanding--
+	if tr := m.obs.Tracer; tr.Enabled() {
+		tr.Emit(m.sim.Now(), "core", "retire", m.coreComp[core], 0)
+	}
 	if t := m.sim.Now(); t > m.res.AppExecTime[app] {
 		m.res.AppExecTime[app] = t
 	}
@@ -446,6 +526,7 @@ func (m *machine) complete(core, app int, last bool) {
 // process runs one access through the Figure 2 flow.
 func (m *machine) process(core, app int, acc Access, last bool) {
 	m.res.Total++
+	m.totalC.Inc()
 	paddr := m.spaces[app].Translate(acc.VAddr, core, int(acc.DesiredMC))
 
 	// L1.
@@ -467,6 +548,7 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 	line := m.l2s[core].LineAddr(paddr)
 	if hit, evicted := m.l2s[core].Access(paddr); hit {
 		m.res.L2LocalHits++
+		m.l2LocalC.Inc()
 		m.sim.At(t0+m.cfg.L2Latency, func() { m.complete(core, app, last) })
 		return
 	} else if evicted >= 0 {
@@ -486,6 +568,7 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 		// On-chip: directory forwards to the owning L2, which sends the
 		// line to the requester.
 		m.res.OnChipRemote++
+		m.remoteC.Inc()
 		tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OnChip)
 		tDir := tArr + m.cfg.DirLatency
 		ownerNode := mesh.CoordOf(owner, m.cfg.Machine.MeshX)
@@ -498,11 +581,12 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 
 	// Off-chip (paths 1–3 of Figure 2a).
 	m.res.OffChip++
+	m.offChipC.Inc()
 	if m.cfg.OptimalOffchip {
 		// Section 2 optimal scheme: nearest controller, no bank contention.
 		nearest := m.cfg.Mapping.Placement.NearestMC(coreNode)
 		nearNode := m.cfg.Mapping.Placement.NodeOf(nearest)
-		m.res.AccessMap[core][nearest]++
+		m.accessMap[core][nearest].Inc()
 		tArr, _ := m.net.Transit(t1, coreNode, nearNode, noc.OffChip)
 		finish := tArr + m.cfg.DirLatency + m.cfg.DRAM.TRowHit
 		m.res.MemLatency += m.cfg.DRAM.TRowHit
@@ -513,7 +597,7 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 		})
 		return
 	}
-	m.res.AccessMap[core][mcID]++
+	m.accessMap[core][mcID].Inc()
 	tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OffChip)
 	tDir := tArr + m.cfg.DirLatency
 	local := mem.LocalAddr(paddr, m.memCfg)
@@ -563,6 +647,7 @@ func (m *machine) processShared(core, app int, paddr int64, last bool) {
 	tBank := tArr + m.cfg.L2Latency
 	if hit, _ := m.l2s[home].Access(paddr); hit {
 		m.res.L2LocalHits++
+		m.l2LocalC.Inc()
 		m.sim.At(tBank, func() {
 			// Path 5: home bank → L1.
 			tData, _ := m.net.Transit(m.sim.Now(), homeNode, coreNode, noc.OnChip)
@@ -573,12 +658,13 @@ func (m *machine) processShared(core, app int, paddr int64, last bool) {
 
 	// Off-chip (paths 2–4), issued by the home bank.
 	m.res.OffChip++
+	m.offChipC.Inc()
 	mcID := m.spaces[app].MCOf(paddr)
 	if m.cfg.OptimalOffchip {
 		mcID = m.cfg.Mapping.Placement.NearestMC(homeNode)
 	}
 	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
-	m.res.AccessMap[home][mcID]++
+	m.accessMap[home][mcID].Inc()
 	m.sim.At(tBank, func() {
 		tReq, _ := m.net.Transit(m.sim.Now(), homeNode, mcNode, noc.OffChip)
 		serve := func(finish int64) {
@@ -633,6 +719,12 @@ func (m *machine) finishStats(w *Workload) {
 	}
 	if len(r.QueueOcc) > 0 {
 		r.AvgQueueOcc /= float64(len(r.QueueOcc))
+	}
+	// Figure 13: render the per-node per-MC access map from the registry.
+	for node := range m.accessMap {
+		for mc, c := range m.accessMap[node] {
+			r.AccessMap[node][mc] = c.Value()
+		}
 	}
 	for _, sp := range m.spaces {
 		r.PageSpills += sp.Spills

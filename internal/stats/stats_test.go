@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -32,12 +33,64 @@ func TestMean(t *testing.T) {
 	}
 }
 
-func TestGeoMeanSpeedup(t *testing.T) {
-	if got := GeoMeanSpeedup([]float64{100, 200}, []float64{80, 100}); got != (0.8+0.5)/2 {
-		t.Errorf("GeoMeanSpeedup = %v", got)
+func TestMeanSpeedupRatio(t *testing.T) {
+	if got := MeanSpeedupRatio([]float64{100, 200}, []float64{80, 100}); got != (0.8+0.5)/2 {
+		t.Errorf("MeanSpeedupRatio = %v", got)
 	}
-	if got := GeoMeanSpeedup([]float64{1}, []float64{1, 2}); got != 0 {
+	if got := MeanSpeedupRatio([]float64{1}, []float64{1, 2}); got != 0 {
 		t.Errorf("length mismatch = %v", got)
+	}
+	// The deprecated alias must keep the historical behavior.
+	if got := GeoMeanSpeedup([]float64{100, 200}, []float64{80, 100}); got != (0.8+0.5)/2 {
+		t.Errorf("GeoMeanSpeedup alias = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 0, 4}); got != 0 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+	if got := GeoMean([]float64{1, -2}); got != 0 {
+		t.Errorf("GeoMean with negative = %v", got)
+	}
+	// A true geometric mean differs from the arithmetic mean of ratios:
+	// ratios 0.5 and 2.0 must average to exactly 1.
+	if got := GeoMean([]float64{0.5, 2.0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("GeoMean(0.5,2) = %v, want 1", got)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tab := &Table{Headers: []string{"x", "longheader"}}
+	tab.Add("aaaaaaaa", "1")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// The second column starts at the same offset in every line: cells are
+	// padded to the widest cell of column one plus the two-space gap.
+	idx := strings.Index(lines[2], "1")
+	if idx != len("aaaaaaaa")+2 {
+		t.Errorf("second column at %d:\n%s", idx, out)
+	}
+	if strings.Index(lines[1], "-") != 0 || len(lines[1]) < idx {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+	// Cells beyond the header count are dropped in rendering.
+	tab2 := &Table{Headers: []string{"only"}}
+	tab2.Add("a", "extra")
+	if strings.Contains(tab2.String(), "extra") {
+		t.Errorf("extra cell rendered: %q", tab2.String())
 	}
 }
 
