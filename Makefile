@@ -2,10 +2,11 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race bench clean
+.PHONY: check vet fmt build test test-race determinism fuzz-smoke bench clean
 
-## check: everything CI enforces — vet, formatting, build, tests under -race.
-check: vet fmt build test-race
+## check: everything CI enforces — vet, formatting, build, tests under -race,
+## and the sequential-vs-parallel determinism gate run twice.
+check: vet fmt build test-race determinism
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,16 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+## determinism: differential gate — every parallel run must be bit-identical
+## to sequential. -count=2 defeats test caching so both runs actually execute.
+determinism:
+	$(GO) test -run Determinism -race -count=2 ./...
+
+## fuzz-smoke: a short fuzz of every Fuzz target (also run nightly in CI).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParseProgram -fuzztime=$(FUZZTIME) ./internal/ir
 
 ## bench: the per-figure benchmarks plus the obs overhead guards.
 bench:

@@ -5,19 +5,31 @@
 //	benchtab -exp all            # everything (several minutes)
 //	benchtab -exp fig14 -apps apsi,swim -quick
 //
+// Experiments are sharded into independent jobs (one simulation each) and
+// can run on a worker pool; results are bit-identical at any worker count:
+//
+//	benchtab -exp fig16 -parallel 8          # 8 workers, same numbers
+//	benchtab -sweep -parallel 8 -progress    # app × scheme example sweep
+//	benchtab -jobs                           # print the sweep's job IDs
+//	benchtab -replay '<job-id>'              # re-run one job, bit-exact
+//	benchtab -bench-runner BENCH_runner.json # record 1-vs-N wall clocks
+//
 // Each experiment prints a fixed-width table whose rows correspond to the
 // bars/series of the paper's figure; see DESIGN.md for the per-experiment
 // index and EXPERIMENTS.md for paper-vs-measured commentary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"offchip/internal/experiments"
+	"offchip/internal/runner"
 )
 
 func main() {
@@ -25,14 +37,64 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated application subset (default: all 13)")
 	quick := flag.Bool("quick", false, "sampled short traces (fast smoke run; numbers not meaningful)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of tables")
+	parallel := flag.Int("parallel", 1, "worker count for job-sharded experiments (results identical at any count)")
+	seed := flag.Uint64("seed", 0, "sweep seed; 0 keeps the historical jitter stream of the recorded figures")
+	replay := flag.String("replay", "", "re-run one job from its canonical ID and print its outcome")
+	sweep := flag.Bool("sweep", false, "run the app × layout-scheme example sweep")
+	jobs := flag.Bool("jobs", false, "print the example sweep's job IDs (replay handles) without running")
+	progress := flag.Bool("progress", false, "print one line per finished job")
+	benchRunner := flag.String("bench-runner", "", "measure the sweep at 1 and -parallel workers; write wall clocks to this JSON file")
 	flag.Parse()
 
-	cfg := experiments.Config{}
+	cfg := experiments.Config{Parallel: *parallel, Seed: *seed}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}
 	if *quick {
 		cfg.MaxAccessesPerThread = 200
+	}
+	if *progress {
+		cfg.OnJob = func(ev runner.JobEvent) {
+			status := "ok"
+			if ev.Err != nil {
+				status = "FAIL: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] w%d %6.2fs %s %s\n",
+				ev.Done, ev.Total, ev.Worker, float64(ev.WallNS)/1e9, ev.ID, status)
+		}
+	}
+
+	switch {
+	case *replay != "":
+		if err := replayJob(*replay); err != nil {
+			fail(err)
+		}
+		return
+	case *jobs:
+		specs, err := cfg.ExampleSweep()
+		if err != nil {
+			fail(err)
+		}
+		for _, s := range specs {
+			fmt.Println(s.ID())
+		}
+		return
+	case *benchRunner != "":
+		if err := benchRunnerRun(cfg, *parallel, *benchRunner); err != nil {
+			fail(err)
+		}
+		return
+	case *sweep:
+		start := time.Now()
+		res, err := experiments.RunSweep(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("[sweep: %d jobs, %d workers, %d steals, %.1fs]\n",
+			len(res.Specs), res.Result.Workers, res.Result.Steals, res.Result.Wall.Seconds())
+		fmt.Printf("[total %.1fs; replay any job with -replay '<id>' from -jobs]\n", time.Since(start).Seconds())
+		return
 	}
 
 	ids := []string{*exp}
@@ -58,4 +120,88 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s took %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}
+
+// replayJob re-executes one job from its ID and prints the canonical
+// (deterministic) outcome — the same bytes the differential tests compare,
+// so two replays of the same ID always print identical output.
+func replayJob(id string) error {
+	out, err := runner.Replay(id)
+	if err != nil {
+		return err
+	}
+	raw, err := out.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	var pretty map[string]any
+	if err := json.Unmarshal(raw, &pretty); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pretty)
+}
+
+// benchRunnerRun times the example sweep at 1 worker and at `workers`
+// workers and records both wall clocks. On a single-CPU host the speedup
+// is honestly ~1×; the numbers exist to track the scaling, not to flatter
+// it.
+func benchRunnerRun(cfg experiments.Config, workers int, path string) error {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	time1, jobs, err := timeSweep(cfg, 1)
+	if err != nil {
+		return err
+	}
+	timeN, _, err := timeSweep(cfg, workers)
+	if err != nil {
+		return err
+	}
+	rec := map[string]any{
+		"bench":        "runner-sweep",
+		"jobs":         jobs,
+		"apps":         cfg.Apps,
+		"cap":          cfg.MaxAccessesPerThread,
+		"numcpu":       runtime.NumCPU(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"workers":      workers,
+		"seconds_1":    time1.Seconds(),
+		"seconds_n":    timeN.Seconds(),
+		"speedup":      time1.Seconds() / timeN.Seconds(),
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("runner sweep: %d jobs, 1 worker %.1fs, %d workers %.1fs (%.2fx, %d CPUs) -> %s\n",
+		jobs, time1.Seconds(), workers, timeN.Seconds(),
+		time1.Seconds()/timeN.Seconds(), runtime.NumCPU(), path)
+	return nil
+}
+
+func timeSweep(cfg experiments.Config, workers int) (time.Duration, int, error) {
+	cfg.Parallel = workers
+	start := time.Now()
+	res, err := experiments.RunSweep(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(res.Specs), nil
 }

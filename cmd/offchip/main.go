@@ -18,6 +18,12 @@
 //	offchip -app apsi -metrics m.jsonl     # metrics registry dump, all runs
 //	offchip -app apsi -report              # post-run text dashboard
 //	offchip -app apsi -pprof :6060         # serve net/http/pprof while running
+//
+// Parallelism and replay (see EXPERIMENTS.md "Parallel sweeps"):
+//
+//	offchip -app apsi -parallel            # run the three simulations concurrently
+//	offchip -app apsi -seed 7              # decorrelate the DRAM jitter stream
+//	offchip -replay '<job-id>'             # re-run one sweep job bit-exactly
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"sync"
 	"time"
 
 	"offchip/internal/approx"
@@ -33,6 +40,7 @@ import (
 	"offchip/internal/ir"
 	"offchip/internal/layout"
 	"offchip/internal/obs"
+	"offchip/internal/runner"
 	"offchip/internal/sim"
 	"offchip/internal/stats"
 	"offchip/internal/workloads"
@@ -59,7 +67,14 @@ func run() error {
 	progress := flag.Bool("progress", false, "print a live one-line status during simulation")
 	report := flag.Bool("report", false, "print the post-run observability dashboard")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	parallel := flag.Bool("parallel", false, "run the baseline/optimized/optimal simulations concurrently (identical results)")
+	seed := flag.Uint64("seed", 0, "jitter seed; 0 keeps the historical stream of the recorded figures")
+	replay := flag.String("replay", "", "re-run one sweep job from its canonical ID (see benchtab -jobs) and exit")
 	flag.Parse()
+
+	if *replay != "" {
+		return replayJob(*replay)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -163,7 +178,7 @@ func run() error {
 		bench = &workloads.App{Name: prog.Name, Source: string(mustRead(*src)), Demand: layout.DefaultDemand()}
 	}
 
-	opt := core.Options{}
+	opt := core.Options{Concurrent: *parallel, Seed: *seed}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -223,18 +238,50 @@ func run() error {
 
 // liveProgress returns a progress callback that keeps one status line
 // updated on stderr: run name, simulated cycles, events/sec (wall clock),
-// and in-flight misses.
+// and in-flight misses. With -parallel the three runs report from separate
+// goroutines, so the closure's state is mutex-guarded; the line then shows
+// whichever run reported last.
 func liveProgress() func(run string, p sim.Progress) {
 	start := time.Now()
+	var mu sync.Mutex
 	var lastEvents int64
 	lastWall := start
 	return func(run string, p sim.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
 		now := time.Now()
 		rate := float64(p.Events-lastEvents) / now.Sub(lastWall).Seconds()
 		lastEvents, lastWall = p.Events, now
 		fmt.Fprintf(os.Stderr, "\r[%-9s] cycles=%-12d events=%-12d events/sec=%-12.0f outstanding=%-4d",
 			run, p.Cycles, p.Events, rate, p.Outstanding)
 	}
+}
+
+// replayJob re-runs one sweep job from its canonical ID and prints the
+// headline comparison. The simulation is bit-identical to the same job's
+// execution inside any parallel sweep (same derived seed, fresh state).
+func replayJob(id string) error {
+	out, err := runner.Replay(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s (short %s)\n\n", out.ID, out.ShortID)
+	if c := out.Comparison; c != nil {
+		t := &stats.Table{
+			Title:   "replay (baseline vs optimized vs optimal)",
+			Headers: []string{"metric", "baseline", "optimized", "optimal", "improvement"},
+		}
+		t.AddF("execution time (cycles)", c.Baseline.ExecTime, c.Optimized.ExecTime, c.Optimal.ExecTime, stats.Pct(c.ExecImprovement()))
+		t.AddF("off-chip mem latency", c.Baseline.MemAvg, c.Optimized.MemAvg, c.Optimal.MemAvg, stats.Pct(c.MemImprovement()))
+		t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
+		fmt.Println(t.String())
+	} else if r := out.Run; r != nil {
+		fmt.Printf("exec time %d cycles, %d off-chip requests\n", r.ExecTime, r.OffChip)
+	} else if a := out.Analysis; a != nil {
+		fmt.Printf("arrays optimized %.1f%%, refs satisfied %.1f%%\n",
+			a.PctArraysOptimized(), a.PctRefsSatisfied())
+	}
+	return nil
 }
 
 // writeMetrics dumps every run's registry as JSONL, one point per line,

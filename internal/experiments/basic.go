@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"offchip/internal/core"
-	"offchip/internal/layout"
-	"offchip/internal/sim"
+	"offchip/internal/runner"
 )
 
 // Fig3 reproduces Figure 3: the contribution of off-chip data accesses to
@@ -17,7 +15,13 @@ func Fig3(cfg Config) (*FigResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.PageInterleave)
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		s := cfg.spec(runner.ModeBaseline, app.Name)
+		s.Interleave = "page"
+		specs[i] = s
+	}
+	res, err := cfg.runJobs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -26,17 +30,8 @@ func Fig3(cfg Config) (*FigResult, error) {
 		Title:   "off-chip share of data accesses (baseline, page interleaving)",
 		Columns: []string{"offchip/total%", "offchip/L2level%"},
 	}
-	opts := cfg.coreOpts()
-	for _, app := range apps {
-		baseW, _, _, err := core.Workloads(app, m, cm, opts)
-		if err != nil {
-			return nil, err
-		}
-		simCfg := core.SimConfig(m, cm, opts)
-		r, err := sim.Run(simCfg, baseW)
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
+		r := res.Outcomes[i].Run
 		l2Level := r.Total - r.L1Hits
 		share2 := 0.0
 		if l2Level > 0 {
@@ -60,7 +55,13 @@ func Fig4(cfg Config) (*FigResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.PageInterleave)
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		s := cfg.spec(runner.ModeCompare, app.Name)
+		s.Interleave = "page"
+		specs[i] = s
+	}
+	res, err := cfg.runJobs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -69,12 +70,8 @@ func Fig4(cfg Config) (*FigResult, error) {
 		Title:   "optimal scheme vs default (page interleaving)",
 		Columns: []string{"onchip-net%", "offchip-net%", "mem%", "exec%"},
 	}
-	opts := cfg.coreOpts()
-	for _, app := range apps {
-		c, err := core.Compare(app, m, cm, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
+		c := res.Outcomes[i].Comparison
 		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{
 			100 * improvementOf(c.Baseline.OnChipNetAvg, c.Optimal.OnChipNetAvg),
 			100 * improvementOf(c.Baseline.OffChipNetAvg, c.Optimal.OffChipNetAvg),
@@ -95,12 +92,17 @@ func improvementOf(base, other float64) float64 {
 
 // Table2 reproduces Table 2: the percentage of arrays optimized and of
 // array references satisfied by the chosen per-array transformations.
+// Analysis-only jobs: no traces are generated and no simulation runs.
 func Table2(cfg Config) (*FigResult, error) {
 	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.LineInterleave)
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		specs[i] = cfg.spec(runner.ModeAnalyze, app.Name)
+	}
+	res, err := cfg.runJobs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -109,14 +111,10 @@ func Table2(cfg Config) (*FigResult, error) {
 		Title:   "arrays optimized and references satisfied",
 		Columns: []string{"arrays%", "refs%"},
 	}
-	opts := cfg.coreOpts()
-	for _, app := range apps {
-		_, _, res, err := core.Workloads(app, m, cm, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
+		a := res.Outcomes[i].Analysis
 		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{
-			res.PctArraysOptimized(), res.PctRefsSatisfied(),
+			a.PctArraysOptimized(), a.PctRefsSatisfied(),
 		}})
 	}
 	f.finish()
@@ -126,48 +124,33 @@ func Table2(cfg Config) (*FigResult, error) {
 // Fig14 reproduces Figure 14: the four improvement metrics under page
 // interleaving with the OS-assisted allocation policy.
 func Fig14(cfg Config) (*FigResult, error) {
-	m, cm, err := defaultMachine(layout.PageInterleave)
-	if err != nil {
-		return nil, err
-	}
-	return improvementSuite(cfg, "Fig14", "improvements under page interleaving", m, cm, cfg.coreOpts())
+	s := cfg.spec(runner.ModeCompare, "")
+	s.Interleave = "page"
+	return improvementSuite(cfg, "Fig14", "improvements under page interleaving", s)
 }
 
 // Fig16 reproduces Figure 16: the four improvement metrics under
 // cache-line interleaving (the default for the remaining experiments).
 func Fig16(cfg Config) (*FigResult, error) {
-	m, cm, err := defaultMachine(layout.LineInterleave)
-	if err != nil {
-		return nil, err
-	}
-	return improvementSuite(cfg, "Fig16", "improvements under cache-line interleaving", m, cm, cfg.coreOpts())
+	return improvementSuite(cfg, "Fig16", "improvements under cache-line interleaving",
+		cfg.spec(runner.ModeCompare, ""))
 }
 
 // Fig22 reproduces Figure 22: the improvements with the L2 space managed
 // as a shared SNUCA cache (cache-line interleaving for both L2 home banks
 // and main memory).
 func Fig22(cfg Config) (*FigResult, error) {
-	m, cm, err := defaultMachine(layout.LineInterleave)
-	if err != nil {
-		return nil, err
-	}
-	m.L2 = layout.SharedL2
-	return improvementSuite(cfg, "Fig22", "improvements with shared (SNUCA) L2", m, cm, cfg.coreOpts())
+	s := cfg.spec(runner.ModeCompare, "")
+	s.L2 = "shared"
+	return improvementSuite(cfg, "Fig22", "improvements with shared (SNUCA) L2", s)
 }
 
 // Fig23 reproduces Figure 23 (Section 6.3): our scheme (with page
 // interleaving and OS-assisted allocation) against the OS first-touch
 // policy baseline.
 func Fig23(cfg Config) (*FigResult, error) {
-	m, cm, err := defaultMachine(layout.PageInterleave)
-	if err != nil {
-		return nil, err
-	}
-	opts := cfg.coreOpts()
-	opts.BaselinePolicy = sim.PolicyFirstTouch
-	f, err := improvementSuite(cfg, "Fig23", "our scheme vs the first-touch policy", m, cm, opts)
-	if err != nil {
-		return nil, err
-	}
-	return f, nil
+	s := cfg.spec(runner.ModeCompare, "")
+	s.Interleave = "page"
+	s.Policy = "firsttouch"
+	return improvementSuite(cfg, "Fig23", "our scheme vs the first-touch policy", s)
 }

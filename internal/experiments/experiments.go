@@ -12,6 +12,7 @@ import (
 
 	"offchip/internal/core"
 	"offchip/internal/layout"
+	"offchip/internal/runner"
 	"offchip/internal/stats"
 	"offchip/internal/workloads"
 )
@@ -23,6 +24,14 @@ type Config struct {
 	// MaxAccessesPerThread shortens traces for smoke tests (0: full traces,
 	// the setting every reported number uses).
 	MaxAccessesPerThread int
+	// Parallel is the worker count for the job-sharded experiments (0 or
+	// 1: sequential). Results are bit-identical at any worker count.
+	Parallel int
+	// Seed decorrelates the simulator's jitter stream per job (0: the
+	// historical stream every recorded figure uses).
+	Seed uint64
+	// OnJob, when set, receives live per-job completion events.
+	OnJob func(runner.JobEvent)
 }
 
 func (c Config) apps() ([]*workloads.App, error) {
@@ -41,7 +50,32 @@ func (c Config) apps() ([]*workloads.App, error) {
 }
 
 func (c Config) coreOpts() core.Options {
-	return core.Options{MaxAccessesPerThread: c.MaxAccessesPerThread}
+	return core.Options{MaxAccessesPerThread: c.MaxAccessesPerThread, Seed: c.Seed}
+}
+
+// spec starts a job spec carrying the config-wide knobs. Callers fill in
+// the per-job fields; enumeration everywhere walks slices in fixed order
+// (never maps), so a suite's job list — and therefore its job IDs — is
+// stable across runs.
+func (c Config) spec(mode runner.Mode, app string) runner.JobSpec {
+	return runner.JobSpec{Mode: mode, App: app, Cap: c.MaxAccessesPerThread, Seed: c.Seed}
+}
+
+// runJobs shards the specs across c.Parallel workers and fails on the
+// first job error (in input order).
+func (c Config) runJobs(specs []runner.JobSpec) (*runner.Result, error) {
+	workers := c.Parallel
+	if workers <= 0 {
+		workers = 1
+	}
+	res, err := runner.Run(specs, runner.Options{Workers: workers, OnJob: c.OnJob})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstError(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // FigResult is a uniform per-application result matrix with a trailing
@@ -129,23 +163,32 @@ func defaultMachine(g layout.Granularity) (layout.Machine, *layout.ClusterMappin
 	return m, cm, err
 }
 
-// improvementSuite runs Compare for every app on the machine and returns
-// the four Figure 14/16 metrics (percent improvements).
-func improvementSuite(cfg Config, id, title string, m layout.Machine, cm *layout.ClusterMapping, opts core.Options) (*FigResult, error) {
+// improvementSuite runs the three-way comparison for every app (one job
+// each, sharded across cfg.Parallel workers) and returns the four Figure
+// 14/16 metrics (percent improvements). tmpl carries the machine knobs;
+// its App field is overwritten per job.
+func improvementSuite(cfg Config, id, title string, tmpl runner.JobSpec) (*FigResult, error) {
 	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
+	}
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		s := tmpl
+		s.App = app.Name
+		specs[i] = s
+	}
+	res, err := cfg.runJobs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	f := &FigResult{
 		ID:      id,
 		Title:   title,
 		Columns: []string{"onchip-net%", "offchip-net%", "mem%", "queue%", "exec%"},
 	}
-	for _, app := range apps {
-		c, err := core.Compare(app, m, cm, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
-		}
+	for i, app := range apps {
+		c := res.Outcomes[i].Comparison
 		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{
 			100 * c.OnChipNetImprovement(),
 			100 * c.OffChipNetImprovement(),
@@ -158,24 +201,37 @@ func improvementSuite(cfg Config, id, title string, m layout.Machine, cm *layout
 	return f, nil
 }
 
-// execSuite runs Compare across several (machine, mapping) variants and
-// reports one exec-improvement column per variant.
-func execSuite(cfg Config, id, title string, variants []variant, opts core.Options) (*FigResult, error) {
+// execSuite runs the comparison across several machine variants and
+// reports one exec-improvement column per variant. Jobs are enumerated
+// app-major (apps[i] × variants[j] at index i·len(variants)+j).
+func execSuite(cfg Config, id, title string, variants []variant) (*FigResult, error) {
 	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
+	}
+	specs := make([]runner.JobSpec, 0, len(apps)*len(variants))
+	for _, app := range apps {
+		for _, v := range variants {
+			s := v.spec
+			s.Mode = runner.ModeCompare
+			s.App = app.Name
+			s.Cap = cfg.MaxAccessesPerThread
+			s.Seed = cfg.Seed
+			specs = append(specs, s)
+		}
+	}
+	res, err := cfg.runJobs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	f := &FigResult{ID: id, Title: title}
 	for _, v := range variants {
 		f.Columns = append(f.Columns, v.name+" exec%")
 	}
-	for _, app := range apps {
+	for i, app := range apps {
 		row := AppRow{App: app.Name}
-		for _, v := range variants {
-			c, err := core.Compare(app, v.m, v.cm, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", id, v.name, err)
-			}
+		for j := range variants {
+			c := res.Outcomes[i*len(variants)+j].Comparison
 			row.Values = append(row.Values, 100*c.ExecImprovement())
 		}
 		f.Rows = append(f.Rows, row)
@@ -184,10 +240,11 @@ func execSuite(cfg Config, id, title string, variants []variant, opts core.Optio
 	return f, nil
 }
 
+// variant names one machine configuration of an execSuite (the name feeds
+// the column header; the spec's App/Cap/Seed fields are filled per job).
 type variant struct {
 	name string
-	m    layout.Machine
-	cm   *layout.ClusterMapping
+	spec runner.JobSpec
 }
 
 // AllIDs lists the experiment identifiers benchtab accepts.

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"offchip/internal/core"
 	"offchip/internal/layout"
-	"offchip/internal/sim"
+	"offchip/internal/runner"
 )
 
 // Fig17 reproduces Figure 17: execution time improvement under the two
@@ -14,6 +13,16 @@ import (
 // applications fma3d and minighost prefer M2 — is also checked by the
 // compiler analysis column (the chooser's pick).
 func Fig17(cfg Config) (*FigResult, error) {
+	f, err := execSuite(cfg, "Fig17", "L2-to-MC mapping M1 vs M2", []variant{
+		{"M1", runner.JobSpec{Mapping: "m1"}},
+		{"M2", runner.JobSpec{Mapping: "m2"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Third column: 1 when the compiler analysis of Section 4 picks M2.
+	// The chooser consumes only the static demand profile, so this column
+	// needs no simulation jobs.
 	m := layout.Default8x8()
 	p := layout.PlacementCorners(m.MeshX, m.MeshY)
 	m1, err := layout.MappingM1(m, p)
@@ -24,12 +33,6 @@ func Fig17(cfg Config) (*FigResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := execSuite(cfg, "Fig17", "L2-to-MC mapping M1 vs M2",
-		[]variant{{"M1", m, m1}, {"M2", m, m2}}, cfg.coreOpts())
-	if err != nil {
-		return nil, err
-	}
-	// Third column: 1 when the compiler analysis of Section 4 picks M2.
 	f.Columns = append(f.Columns, "chooser=M2")
 	apps, _ := cfg.apps()
 	for i, app := range apps {
@@ -46,33 +49,39 @@ func Fig17(cfg Config) (*FigResult, error) {
 
 // Fig18 reproduces Figure 18: bank queue utilization (time-averaged queue
 // occupancy) per application under mapping M1, which explains why fma3d
-// and minighost prefer M2.
+// and minighost prefer M2. The table is rendered from the merged registry
+// view of the sharded jobs: each job's dram/queue_len gauges are looked up
+// by job=<id>,run=optimized scope and time-averaged at that job's own end
+// time.
 func Fig18(cfg Config) (*FigResult, error) {
 	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.LineInterleave)
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		specs[i] = cfg.spec(runner.ModeOptimized, app.Name)
+	}
+	res, err := cfg.runJobs(specs)
 	if err != nil {
 		return nil, err
 	}
+	merged := res.Merged()
 	f := &FigResult{
 		ID:      "Fig18",
 		Title:   "bank queue occupancy under M1 (optimized runs)",
 		Columns: []string{"queue-occupancy"},
 	}
-	opts := cfg.coreOpts()
-	for _, app := range apps {
-		_, optW, _, err := core.Workloads(app, m, cm, opts)
-		if err != nil {
-			return nil, err
+	for i, app := range apps {
+		o := res.Outcomes[i]
+		until := o.ExecTimes["optimized"]
+		var sum float64
+		for mc := 0; mc < o.Spec.NumMCs; mc++ {
+			sum += merged.TimeWeighted("dram", "queue_len",
+				fmt.Sprintf("mc=%d", mc), "job="+o.ShortID, "run=optimized").Avg(until)
 		}
-		simCfg := core.SimConfig(m, cm, opts)
-		r, err := sim.Run(simCfg, optW)
-		if err != nil {
-			return nil, err
-		}
-		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{r.AvgQueueOcc}})
+		f.Rows = append(f.Rows, AppRow{App: app.Name,
+			Values: []float64{sum / float64(o.Spec.NumMCs)}})
 	}
 	f.finish()
 	return f, nil
@@ -81,20 +90,11 @@ func Fig18(cfg Config) (*FigResult, error) {
 // Fig19 reproduces Figure 19: execution time improvement under the three
 // memory controller placements (P1 corners, P2 diamond, P3 top/bottom).
 func Fig19(cfg Config) (*FigResult, error) {
-	m := layout.Default8x8()
-	var variants []variant
-	for _, p := range []*layout.MCPlacement{
-		layout.PlacementCorners(m.MeshX, m.MeshY),
-		layout.PlacementDiamond(m.MeshX, m.MeshY),
-		layout.PlacementTopBottom(m.MeshX, m.MeshY),
-	} {
-		cm, err := layout.MappingM1(m, p)
-		if err != nil {
-			return nil, err
-		}
-		variants = append(variants, variant{p.Name, m, cm})
-	}
-	return execSuite(cfg, "Fig19", "MC placements P1/P2/P3", variants, cfg.coreOpts())
+	return execSuite(cfg, "Fig19", "MC placements P1/P2/P3", []variant{
+		{"P1-corners", runner.JobSpec{Placement: "corners"}},
+		{"P2-diamond", runner.JobSpec{Placement: "diamond"}},
+		{"P3-topbottom", runner.JobSpec{Placement: "topbottom"}},
+	})
 }
 
 // Fig20 reproduces Figure 20: execution time improvement as the memory
@@ -103,19 +103,12 @@ func Fig19(cfg Config) (*FigResult, error) {
 func Fig20(cfg Config) (*FigResult, error) {
 	var variants []variant
 	for _, n := range []int{4, 8, 16} {
-		m := layout.Default8x8()
-		m.NumMCs = n
-		p, err := layout.PlacementPerimeter(m.MeshX, m.MeshY, n)
-		if err != nil {
-			return nil, err
-		}
-		cm, err := layout.MappingM1(m, p)
-		if err != nil {
-			return nil, err
-		}
-		variants = append(variants, variant{fmt.Sprintf("%dMC", n), m, cm})
+		variants = append(variants, variant{
+			fmt.Sprintf("%dMC", n),
+			runner.JobSpec{Placement: "perimeter", NumMCs: n},
+		})
 	}
-	return execSuite(cfg, "Fig20", "memory controller counts", variants, cfg.coreOpts())
+	return execSuite(cfg, "Fig20", "memory controller counts", variants)
 }
 
 // Fig21 reproduces Figure 21: execution time improvement on 4×4, 4×8, and
@@ -123,13 +116,10 @@ func Fig20(cfg Config) (*FigResult, error) {
 func Fig21(cfg Config) (*FigResult, error) {
 	var variants []variant
 	for _, dims := range [][2]int{{4, 4}, {8, 4}, {8, 8}} {
-		m := layout.Default8x8()
-		m.MeshX, m.MeshY = dims[0], dims[1]
-		cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
-		if err != nil {
-			return nil, err
-		}
-		variants = append(variants, variant{fmt.Sprintf("%dx%d", dims[0], dims[1]), m, cm})
+		variants = append(variants, variant{
+			fmt.Sprintf("%dx%d", dims[0], dims[1]),
+			runner.JobSpec{MeshX: dims[0], MeshY: dims[1]},
+		})
 	}
-	return execSuite(cfg, "Fig21", "mesh sizes", variants, cfg.coreOpts())
+	return execSuite(cfg, "Fig21", "mesh sizes", variants)
 }

@@ -5,6 +5,7 @@ import (
 
 	"offchip/internal/core"
 	"offchip/internal/layout"
+	"offchip/internal/runner"
 	"offchip/internal/sim"
 	"offchip/internal/stats"
 	"offchip/internal/trace"
@@ -16,33 +17,18 @@ import (
 // the unoptimized runs suffer disproportionate contention. (The paper
 // highlights the two-threads-per-core point, e.g. minighost ≈20%.)
 func Fig24(cfg Config) (*FigResult, error) {
-	apps, err := cfg.apps()
+	cores := layout.Default8x8().Cores()
+	var variants []variant
+	for _, tpc := range []int{1, 2} {
+		variants = append(variants, variant{
+			fmt.Sprintf("%dtpc", tpc),
+			runner.JobSpec{Threads: cores * tpc},
+		})
+	}
+	f, err := execSuite(cfg, "Fig24", "threads per core", variants)
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.LineInterleave)
-	if err != nil {
-		return nil, err
-	}
-	f := &FigResult{
-		ID:      "Fig24",
-		Title:   "threads per core",
-		Columns: []string{"1tpc exec%", "2tpc exec%"},
-	}
-	for _, app := range apps {
-		row := AppRow{App: app.Name}
-		for _, tpc := range []int{1, 2} {
-			opts := cfg.coreOpts()
-			opts.Threads = m.Cores() * tpc
-			c, err := core.Compare(app, m, cm, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig24/%s/%dtpc: %w", app.Name, tpc, err)
-			}
-			row.Values = append(row.Values, 100*c.ExecImprovement())
-		}
-		f.Rows = append(f.Rows, row)
-	}
-	f.finish()
 	return f, nil
 }
 
@@ -93,6 +79,9 @@ func (r *MixResult) Table() string {
 
 // Fig25 reproduces Figure 25 (Section 6.4): multiprogrammed workloads,
 // evaluated with the weighted speedup metric [21]: Σᵢ Tᵢ(alone)/Tᵢ(shared).
+// It stays sequential by design: the applications of a mix time-share one
+// simulated machine, so a mix is a single simulation, not a shardable set
+// of independent jobs.
 func Fig25(cfg Config) (*MixResult, error) {
 	m, cm, err := defaultMachine(layout.LineInterleave)
 	if err != nil {

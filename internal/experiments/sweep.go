@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"offchip/internal/obs"
+	"offchip/internal/runner"
+	"offchip/internal/stats"
+)
+
+// sweepSchemes are the layout schemes the example sweep crosses with the
+// application suite. A fixed slice — never a map — so the enumerated job
+// list (and every job ID) is identical on every run.
+var sweepSchemes = []struct {
+	Name string
+	Set  func(*runner.JobSpec)
+}{
+	{"line/private", func(s *runner.JobSpec) {}},
+	{"page/private", func(s *runner.JobSpec) { s.Interleave = "page" }},
+	{"line/shared", func(s *runner.JobSpec) { s.L2 = "shared" }},
+}
+
+// ExampleSweep enumerates the demonstration sweep: every configured
+// application × the three layout schemes, one three-way comparison job
+// each, in app-major order (apps in the paper's listing order).
+func (c Config) ExampleSweep() ([]runner.JobSpec, error) {
+	apps, err := c.apps()
+	if err != nil {
+		return nil, err
+	}
+	var specs []runner.JobSpec
+	for _, app := range apps {
+		for _, sch := range sweepSchemes {
+			s := c.spec(runner.ModeCompare, app.Name)
+			sch.Set(&s)
+			specs = append(specs, s)
+		}
+	}
+	return specs, nil
+}
+
+// SweepResult is the outcome of RunSweep: the job list, the raw runner
+// result, and the merged registry every cross-job view reads from.
+type SweepResult struct {
+	Specs  []runner.JobSpec
+	Result *runner.Result
+	Merged *obs.Registry
+}
+
+// RunSweep runs the example sweep across cfg.Parallel workers.
+func RunSweep(cfg Config) (*SweepResult, error) {
+	specs, err := cfg.ExampleSweep()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cfg.runJobs(specs)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Specs: specs, Result: res, Merged: res.Merged()}, nil
+}
+
+// Table renders one row per job: the scheme, the job's short ID (the
+// replay handle is the full ID, printed by cmd/benchtab -jobs), and the
+// headline improvements.
+func (r *SweepResult) Table() string {
+	t := &stats.Table{
+		Title:   "example sweep: app × layout scheme",
+		Headers: []string{"app", "scheme", "job", "exec%", "mem%", "offchip-net%"},
+	}
+	for i, o := range r.Result.Outcomes {
+		c := o.Comparison
+		t.AddF(o.Spec.App, sweepSchemes[i%len(sweepSchemes)].Name, o.ShortID,
+			100*c.ExecImprovement(), 100*c.MemImprovement(), 100*c.OffChipNetImprovement())
+	}
+	return t.String()
+}
+
+// MergedQueueOcc reads one job's mean bank-queue occupancy for the given
+// run from the merged registry — the Figure 18 quantity, addressable per
+// job after the sweep.
+func (r *SweepResult) MergedQueueOcc(i int, run string) float64 {
+	o := r.Result.Outcomes[i]
+	until := o.ExecTimes[run]
+	var sum float64
+	for mc := 0; mc < o.Spec.NumMCs; mc++ {
+		sum += r.Merged.TimeWeighted("dram", "queue_len",
+			fmt.Sprintf("mc=%d", mc), "job="+o.ShortID, "run="+run).Avg(until)
+	}
+	return sum / float64(o.Spec.NumMCs)
+}

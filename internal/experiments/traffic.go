@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"offchip/internal/core"
 	"offchip/internal/layout"
+	"offchip/internal/obs"
+	"offchip/internal/runner"
 	"offchip/internal/stats"
 )
 
@@ -28,33 +29,51 @@ type MapResult struct {
 // Fig13 reproduces Figure 13: the distribution across nodes of apsi's
 // off-chip accesses to controller MC0 (the paper's MC1, top-left corner),
 // original vs optimized. In the original, requests come from all over the
-// chip; optimized, they skew to the nearby quadrant.
+// chip; optimized, they skew to the nearby quadrant. The maps are rendered
+// from the merged registry: the job's sim/offchip_requests counters are
+// addressed by their job=<id>,run=<name> scope labels.
 func Fig13(cfg Config) (*MapResult, error) {
-	m, cm, err := defaultMachine(layout.LineInterleave)
+	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
 	}
-	app, _ := cfg.apps()
-	target := app[0]
-	for _, a := range app {
+	target := apps[0]
+	for _, a := range apps {
 		if a.Name == "apsi" {
 			target = a
 		}
 	}
-	opts := cfg.coreOpts()
-	c, err := core.Compare(target, m, cm, opts)
+	res, err := cfg.runJobs([]runner.JobSpec{cfg.spec(runner.ModeCompare, target.Name)})
 	if err != nil {
 		return nil, err
 	}
-	res := &MapResult{
+	o := res.Outcomes[0]
+	m, cm, _, err := o.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	merged := res.Merged()
+	readMap := func(run string) [][]int64 {
+		am := make([][]int64, m.Cores())
+		for node := range am {
+			am[node] = make([]int64, m.NumMCs)
+			for mc := range am[node] {
+				am[node][mc] = merged.Counter("sim", "offchip_requests",
+					fmt.Sprintf("node=%d", node), fmt.Sprintf("mc=%d", mc),
+					"job="+o.ShortID, "run="+run).Value()
+			}
+		}
+		return am
+	}
+	r := &MapResult{
 		ID:    "Fig13",
 		Title: fmt.Sprintf("distribution of %s's off-chip accesses to MC0", target.Name),
 		MC:    0,
 		MeshX: m.MeshX,
 	}
-	res.Original, res.QuadrantShareOriginal = mcMap(c.Baseline.AccessMap, 0, cm)
-	res.Optimized, res.QuadrantShareOptimized = mcMap(c.Optimized.AccessMap, 0, cm)
-	return res, nil
+	r.Original, r.QuadrantShareOriginal = mcMap(readMap("baseline"), 0, cm)
+	r.Optimized, r.QuadrantShareOptimized = mcMap(readMap("optimized"), 0, cm)
+	return r, nil
 }
 
 func mcMap(accessMap [][]int64, mc int, cm *layout.ClusterMapping) ([]float64, float64) {
@@ -104,36 +123,53 @@ type CDFResult struct {
 	OffChipOpt  []float64
 }
 
-// Fig15 reproduces Figure 15.
+// Fig15 reproduces Figure 15. Per-job hop histograms are read back from
+// the merged registry (scoped by job and run), turned into CDFs, and
+// averaged across the suite — byte-identical to the per-run HopCDF the
+// simulator reports, since both render from the same histogram counts.
 func Fig15(cfg Config) (*CDFResult, error) {
 	apps, err := cfg.apps()
 	if err != nil {
 		return nil, err
 	}
-	m, cm, err := defaultMachine(layout.LineInterleave)
+	specs := make([]runner.JobSpec, len(apps))
+	for i, app := range apps {
+		specs[i] = cfg.spec(runner.ModeCompare, app.Name)
+	}
+	res, err := cfg.runJobs(specs)
 	if err != nil {
 		return nil, err
 	}
-	res := &CDFResult{ID: "Fig15", Title: "CDF of links traversed per request"}
-	opts := cfg.coreOpts()
+	merged := res.Merged()
+	r := &CDFResult{ID: "Fig15", Title: "CDF of links traversed per request"}
 	n := 0
-	for _, app := range apps {
-		c, err := core.Compare(app, m, cm, opts)
+	for i := range apps {
+		o := res.Outcomes[i]
+		m, _, _, err := o.Spec.Build()
 		if err != nil {
 			return nil, err
 		}
-		res.OnChipBase = accumulate(res.OnChipBase, c.Baseline.HopCDFOn)
-		res.OnChipOpt = accumulate(res.OnChipOpt, c.Optimized.HopCDFOn)
-		res.OffChipBase = accumulate(res.OffChipBase, c.Baseline.HopCDFOff)
-		res.OffChipOpt = accumulate(res.OffChipOpt, c.Optimized.HopCDFOff)
+		// The NoC registers hop histograms with one bucket per possible
+		// hop count (0..meshX+meshY) plus an overflow bucket that XY
+		// routing can never reach; drop it to keep the historical shape.
+		bounds := obs.LinearBuckets(0, 1, m.MeshX+m.MeshY+1)
+		cdf := func(class, run string) []float64 {
+			c := stats.CumulativeFractions(merged.Histogram("noc", "hops", bounds,
+				"class="+class, "job="+o.ShortID, "run="+run).Counts())
+			return c[:len(c)-1]
+		}
+		r.OnChipBase = accumulate(r.OnChipBase, cdf("on-chip", "baseline"))
+		r.OnChipOpt = accumulate(r.OnChipOpt, cdf("on-chip", "optimized"))
+		r.OffChipBase = accumulate(r.OffChipBase, cdf("off-chip", "baseline"))
+		r.OffChipOpt = accumulate(r.OffChipOpt, cdf("off-chip", "optimized"))
 		n++
 	}
-	for _, s := range [][]float64{res.OnChipBase, res.OnChipOpt, res.OffChipBase, res.OffChipOpt} {
+	for _, s := range [][]float64{r.OnChipBase, r.OnChipOpt, r.OffChipBase, r.OffChipOpt} {
 		for i := range s {
 			s[i] /= float64(n)
 		}
 	}
-	return res, nil
+	return r, nil
 }
 
 func accumulate(dst, src []float64) []float64 {

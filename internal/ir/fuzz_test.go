@@ -1,0 +1,58 @@
+package ir_test
+
+import (
+	"testing"
+
+	"offchip/internal/ir"
+	"offchip/internal/workloads"
+)
+
+// FuzzParseProgram throws arbitrary byte soup at the kernel-language
+// parser. Two properties must hold for every input:
+//
+//  1. Parse never panics — it returns an error for anything malformed
+//     (the CLI feeds it user files).
+//  2. Accepted programs round-trip: the printed form re-parses, and
+//     printing is a fixpoint (print∘parse∘print = print), so the printer
+//     is a faithful serialization of the IR.
+//
+// The corpus seeds with the full application suite's kernels (the same
+// sources the examples/ programs run) plus edge cases around parameters,
+// indexed subscripts, comments, and whitespace.
+func FuzzParseProgram(f *testing.F) {
+	for _, app := range workloads.All() {
+		f.Add(app.Source)
+	}
+	for _, seed := range []string{
+		"",
+		"program empty\n",
+		"program p\nparam N = 4\narray A[N]\nparfor i = 0 .. N { A[i] = A[i] }\n",
+		"program p\narray A[8] elem 4\narray B[8]\nparfor i = 0 .. 8 { B[i] = B[A[i]] }\n",
+		"program p\n# only a comment\nparam N = 1\narray A[1]\nparfor i = 0 .. 1 { A[i] = A[i] }",
+		"program p\nparam N = 4\nparam M = N\narray A[M][M]\nparfor i = 1 .. M-1 {\n for j = 1 .. M-1 { A[i][j] = A[i-1][j] + A[i+1][j] }\n}\n",
+		"program bad\nparfor i = 0 .. N { }\n",
+		"program bad\narray A[0]\n",
+		"program bad\nparam = 3\n",
+		"parfor i = 0 .. 4 { }",
+		"program p\r\nparam N = 2\r\narray A[2]\r\nparfor i = 0 .. 2 { A[i] = A[i] }\r\n",
+		"program p param N",
+		"program p\nparam N = 999999999999999999999999\n",
+		"program p\narray A[4]\nparfor i = 4 .. 0 { A[i] = A[i] }\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ir.Parse(src) // must not panic, whatever src is
+		if err != nil {
+			return
+		}
+		s1 := p.String()
+		p2, err := ir.Parse(s1)
+		if err != nil {
+			t.Fatalf("printed form of accepted program does not re-parse: %v\ninput: %q\nprinted: %q", err, src, s1)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("print is not a fixpoint\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeScopedKeepsPerJobValues(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("sim", "accesses").Add(10)
+	a.Histogram("noc", "hops", []int64{0, 1, 2}).Observe(1)
+	a.TimeWeighted("dram", "queue_len", "mc=0").Set(0, 2) // level 2 over [0, 100]
+
+	b := NewRegistry()
+	b.Counter("sim", "accesses").Add(32)
+	b.Histogram("noc", "hops", []int64{0, 1, 2}).Observe(2)
+	b.TimeWeighted("dram", "queue_len", "mc=0").Set(0, 4) // level 4 over [0, 50]
+
+	m := NewRegistry()
+	m.MergeScoped(a, 100, "job=a")
+	m.MergeScoped(b, 50, "job=b")
+
+	if v := m.Counter("sim", "accesses", "job=a").Value(); v != 10 {
+		t.Errorf("job=a counter = %d", v)
+	}
+	if v := m.Counter("sim", "accesses", "job=b").Value(); v != 32 {
+		t.Errorf("job=b counter = %d", v)
+	}
+	// Time-weighted gauges reproduce each job's time-average at that job's
+	// own end time.
+	if avg := m.TimeWeighted("dram", "queue_len", "mc=0", "job=a").Avg(100); avg != 2 {
+		t.Errorf("job=a avg = %v, want 2", avg)
+	}
+	if avg := m.TimeWeighted("dram", "queue_len", "mc=0", "job=b").Avg(50); avg != 4 {
+		t.Errorf("job=b avg = %v, want 4", avg)
+	}
+	if c := m.Histogram("noc", "hops", []int64{0, 1, 2}, "job=b").Counts(); c[2] != 1 {
+		t.Errorf("job=b hist counts = %v", c)
+	}
+}
+
+func TestMergeUnscopedAggregates(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("sim", "accesses").Add(3)
+	a.Histogram("noc", "hops", []int64{0, 1}).Observe(0)
+	b := NewRegistry()
+	b.Counter("sim", "accesses").Add(4)
+	b.Histogram("noc", "hops", []int64{0, 1}).Observe(1)
+
+	m := NewRegistry()
+	m.Merge(a, 0)
+	m.Merge(b, 0)
+	if v := m.Counter("sim", "accesses").Value(); v != 7 {
+		t.Errorf("aggregate counter = %d, want 7", v)
+	}
+	h := m.Histogram("noc", "hops", []int64{0, 1})
+	if h.Total() != 2 || h.Counts()[0] != 1 || h.Counts()[1] != 1 {
+		t.Errorf("aggregate hist = %v total %d", h.Counts(), h.Total())
+	}
+}
+
+func TestMergeOrderIndependentForDisjointScopes(t *testing.T) {
+	build := func(order []string) []Point {
+		regs := map[string]*Registry{}
+		for _, name := range []string{"x", "y"} {
+			r := NewRegistry()
+			r.Counter("sim", "accesses").Add(int64(len(name)))
+			r.TimeWeighted("dram", "queue_len").Set(0, 1)
+			regs[name] = r
+		}
+		m := NewRegistry()
+		for _, name := range order {
+			m.MergeScoped(regs[name], 10, "job="+name)
+		}
+		return m.Snapshot(10)
+	}
+	if !reflect.DeepEqual(build([]string{"x", "y"}), build([]string{"y", "x"})) {
+		t.Error("scoped merge depends on merge order")
+	}
+}
+
+func TestMergeHistogramBoundsMismatchPanics(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("noc", "hops", []int64{0, 1}).Observe(0)
+	m := NewRegistry()
+	m.Histogram("noc", "hops", []int64{0, 5}).Observe(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched bounds merged silently")
+		}
+	}()
+	m.Merge(a, 0)
+}

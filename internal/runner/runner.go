@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offchip/internal/obs"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Workers is the pool size; 0 or negative means GOMAXPROCS(0).
+	Workers int
+	// OnJob, when set, is invoked once per finished job. Calls are
+	// serialized (safe for terminal output) but their order follows
+	// completion, which is not deterministic under stealing.
+	OnJob func(ev JobEvent)
+}
+
+// JobEvent reports one finished job to Options.OnJob.
+type JobEvent struct {
+	ID     string
+	Index  int // position in the input spec slice
+	Worker int
+	Done   int // jobs finished so far, this one included
+	Total  int
+	WallNS int64
+	Err    error
+}
+
+// Result is the outcome of a sweep.
+type Result struct {
+	// Outcomes is indexed exactly like the input spec slice, regardless of
+	// which worker ran which job when — the property that makes a parallel
+	// sweep's output indistinguishable from a sequential one.
+	Outcomes []*JobOutcome
+	Workers  int
+	Wall     time.Duration
+	// Steals counts jobs a worker took from another worker's deque.
+	Steals int64
+}
+
+// deque is one worker's job queue: the owner pops from the front, thieves
+// steal from the back. Jobs are indices into the shared spec slice.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return j, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[len(d.jobs)-1]
+	d.jobs = d.jobs[:len(d.jobs)-1]
+	return j, true
+}
+
+// Run executes every spec and returns the outcomes in input order.
+// Individual job failures land in the corresponding outcome's Err (see
+// Result.FirstError); Run itself errors only on malformed input, such as
+// two specs normalizing to the same job ID — duplicates would make replay
+// ambiguous and double-count in the merged registry.
+func Run(specs []JobSpec, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) && len(specs) > 0 {
+		workers = len(specs)
+	}
+	seen := make(map[string]int, len(specs))
+	for i, s := range specs {
+		id := s.ID()
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("runner: specs %d and %d share job ID %s", prev, i, id)
+		}
+		seen[id] = i
+	}
+	res := &Result{
+		Outcomes: make([]*JobOutcome, len(specs)),
+		Workers:  workers,
+	}
+	if len(specs) == 0 {
+		return res, nil
+	}
+
+	// Deal jobs round-robin so every deque starts with a similar share;
+	// stealing rebalances whatever the deal got wrong.
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for i := range specs {
+		w := i % workers
+		deques[w].jobs = append(deques[w].jobs, i)
+	}
+
+	var (
+		done   atomic.Int64
+		steals atomic.Int64
+		evMu   sync.Mutex
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, ok := deques[w].popFront()
+				if !ok {
+					// Own deque dry: steal from the back of the others,
+					// scanning from the next worker around the ring.
+					for k := 1; k < workers && !ok; k++ {
+						i, ok = deques[(w+k)%workers].popBack()
+					}
+					if !ok {
+						return
+					}
+					steals.Add(1)
+				}
+				t0 := time.Now()
+				out := specs[i].execute()
+				out.Worker = w
+				out.WallNS = time.Since(t0).Nanoseconds()
+				res.Outcomes[i] = out
+				n := done.Add(1)
+				if opt.OnJob != nil {
+					evMu.Lock()
+					opt.OnJob(JobEvent{
+						ID:     out.ID,
+						Index:  i,
+						Worker: w,
+						Done:   int(n),
+						Total:  len(specs),
+						WallNS: out.WallNS,
+						Err:    out.Err,
+					})
+					evMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.Steals = steals.Load()
+	return res, nil
+}
+
+// FirstError returns the first failed job's error (in input order), or nil.
+func (r *Result) FirstError() error {
+	for _, o := range r.Outcomes {
+		if o != nil && o.Err != nil {
+			return fmt.Errorf("runner: job %s: %w", o.ID, o.Err)
+		}
+	}
+	return nil
+}
+
+// Merged folds every job's per-run registries into one registry, scoping
+// each with job=<short ID> and run=<name> labels. Merging walks the
+// outcomes in input order and each job's runs in sorted name order, so the
+// merged registry is identical however the sweep was scheduled.
+func (r *Result) Merged() *obs.Registry {
+	m := obs.NewRegistry()
+	for _, o := range r.Outcomes {
+		if o == nil || o.Err != nil {
+			continue
+		}
+		runs := make([]string, 0, len(o.Observers))
+		for run := range o.Observers {
+			runs = append(runs, run)
+		}
+		sort.Strings(runs)
+		for _, run := range runs {
+			ob := o.Observers[run]
+			if ob == nil || ob.Reg == nil {
+				continue
+			}
+			m.MergeScoped(ob.Reg, o.ExecTimes[run], "job="+o.ShortID, "run="+run)
+		}
+	}
+	return m
+}

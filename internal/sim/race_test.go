@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"offchip/internal/layout"
+)
+
+// raceWorkload builds a workload with enough cross-core traffic (shared
+// lines, off-chip misses, queueing) to exercise every substrate.
+func raceWorkload(cores int) *Workload {
+	var streams []Stream
+	for c := 0; c < cores; c++ {
+		var accs []Access
+		for i := int64(0); i < 120; i++ {
+			accs = append(accs, Access{VAddr: (int64(c)*977 + i*131) % 8192 * 8, DesiredMC: -1})
+		}
+		streams = append(streams, Stream{Core: c, Accesses: accs})
+	}
+	return &Workload{Name: "race", Streams: streams}
+}
+
+// TestDeterminismConcurrentRuns is the -race stress gate for the parallel
+// experiment runner: sim.Run holds no package-level mutable state, so any
+// number of simulations may run concurrently — including over the *same*
+// Workload value — and each must produce exactly the result a solo run
+// produces. A data race here (flagged by -race) or a result mismatch means
+// some state leaked between concurrent machines.
+func TestDeterminismConcurrentRuns(t *testing.T) {
+	cfg := testConfig(t)
+	w := raceWorkload(16)
+
+	ref, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heterogeneous configs in flight at once: same workload, different
+	// policies/seeds — the shape of a sharded parameter sweep.
+	sharedCfg := cfg
+	sharedCfg.Machine.L2 = layout.SharedL2
+	seededCfg := cfg
+	seededCfg.Seed = 12345
+	sharedRef, err := Run(sharedCfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seededRef, err := Run(seededCfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			switch i % 3 {
+			case 1:
+				c = sharedCfg
+			case 2:
+				c = seededCfg
+			}
+			results[i], errs[i] = Run(c, w)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		want := ref
+		switch i % 3 {
+		case 1:
+			want = sharedRef
+		case 2:
+			want = seededRef
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("worker %d: concurrent result diverged from solo run", i)
+		}
+	}
+}
+
+// TestSeedChangesJitterStream pins the Seed contract: seed 0 reproduces the
+// historical stream, equal seeds reproduce each other, and different seeds
+// (with jitter enabled) sample different interleavings.
+func TestSeedChangesJitterStream(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.GapJitter = 8
+	w := raceWorkload(16)
+
+	base1, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base1, base2) {
+		t.Fatal("seed 0 is not reproducible")
+	}
+
+	seeded := cfg
+	seeded.Seed = 99
+	s1, err := Run(seeded, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(seeded, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("equal seeds produced different results")
+	}
+	if s1.ExecTime == base1.ExecTime && reflect.DeepEqual(s1.NetLatency, base1.NetLatency) {
+		t.Error("seed 99 produced the seed-0 stream (seed not mixed into jitter)")
+	}
+}

@@ -70,6 +70,14 @@ type Config struct {
 	// per-iteration compute variation; identical synthetic kernels would
 	// otherwise stay in lockstep and alias their miss bursts.
 	GapJitter int64
+	// Seed decorrelates the jitter stream between runs: it is mixed into
+	// the per-access jitter hash, so two runs of the same workload with
+	// different seeds sample different (but individually deterministic)
+	// compute-variation sequences. Zero keeps the historical stream — every
+	// recorded figure uses seed 0. The parallel experiment runner derives
+	// each job's seed from a stable hash of its job ID, which is what makes
+	// single-job replay bit-exact.
+	Seed uint64
 
 	// Policy selects the page allocation policy (page interleaving only).
 	Policy PolicyKind
@@ -274,6 +282,7 @@ type machine struct {
 	remoteC   *obs.Counter
 	offChipC  *obs.Counter
 	coreComp  []string
+	seedMix   uint64 // Seed pre-mixed for the jitter hash (0 when Seed is 0)
 
 	running int // streams not yet finished
 }
@@ -313,6 +322,14 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 			AppExecTime: map[int]int64{},
 			AccessMap:   make([][]int64, cores),
 		},
+	}
+	if cfg.Seed != 0 {
+		// SplitMix64 finalizer: spread the seed bits before XOR-ing into
+		// the per-access jitter hash.
+		z := cfg.Seed + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		m.seedMix = z ^ (z >> 31)
 	}
 	m.totalC = o.Reg.Counter("sim", "accesses")
 	m.l2LocalC = o.Reg.Counter("sim", "l2_local_hits")
@@ -468,8 +485,11 @@ func (m *machine) tryIssue(core int) {
 		}
 		gap := m.cfg.ComputeGap
 		if m.cfg.GapJitter > 0 {
-			// Cheap deterministic hash of (core, issue count).
+			// Cheap deterministic hash of (core, issue count, seed). With
+			// Seed 0 the mix term vanishes and the historical jitter stream
+			// is reproduced exactly.
 			h := uint64(core)*0x9e3779b97f4a7c15 + uint64(cs.issued)*0xbf58476d1ce4e5b9
+			h ^= m.seedMix
 			h ^= h >> 31
 			gap += int64(h % uint64(m.cfg.GapJitter))
 		}

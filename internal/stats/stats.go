@@ -93,6 +93,27 @@ func WeightedSpeedup(aloneTimes, sharedTimes []int64) float64 {
 	return ws
 }
 
+// CumulativeFractions turns histogram bucket counts into a CDF: element i
+// is the fraction of observations in buckets 0..i. It mirrors the
+// obs.Histogram CDF arithmetic exactly (integer cumulation, one float
+// division per bucket), so CDFs rendered from merged registry shards are
+// bit-identical to the per-run ones. All-zero counts yield all zeros.
+func CumulativeFractions(counts []int64) []float64 {
+	out := make([]float64, len(counts))
+	var total, cum int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
 // Table renders rows as a fixed-width text table with a header.
 type Table struct {
 	Title   string

@@ -151,3 +151,21 @@ func TestTableShortRow(t *testing.T) {
 		t.Error("short row dropped")
 	}
 }
+
+func TestCumulativeFractions(t *testing.T) {
+	got := CumulativeFractions([]int64{1, 0, 3})
+	want := []float64{0.25, 0.25, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cdf[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for i, v := range CumulativeFractions([]int64{0, 0}) {
+		if v != 0 {
+			t.Errorf("empty histogram cdf[%d] = %v, want 0", i, v)
+		}
+	}
+	if out := CumulativeFractions(nil); len(out) != 0 {
+		t.Errorf("nil counts gave %v", out)
+	}
+}
