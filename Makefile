@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race determinism fuzz-smoke bench clean
+.PHONY: check vet fmt build test test-race determinism conservation bench-smoke fuzz-smoke bench bench-engine clean
 
 ## check: everything CI enforces — vet, formatting, build, tests under -race,
-## and the sequential-vs-parallel determinism gate run twice.
-check: vet fmt build test-race determinism
+## the sequential-vs-parallel determinism gate, the message-conservation
+## battery, and the engine allocation gate.
+check: vet fmt build test-race determinism conservation bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,14 +33,34 @@ test-race:
 determinism:
 	$(GO) test -run Determinism -race -count=2 ./...
 
+## conservation: the message-conservation battery — every workload's injected
+## requests must equal delivered responses across noc/cache/dram. Run under
+## -race and twice (cache defeated) like the determinism gate.
+conservation:
+	$(GO) test -run Conservation -race -count=2 ./internal/sim
+
+## bench-smoke: the allocation-regression gate on the event-kernel hot path.
+## Runs the engine micro-benchmarks briefly and fails if the steady-state
+## dispatch path allocates at all (pinned ceiling: 0 allocs/op).
+bench-smoke:
+	$(GO) test -run='^$$' -bench='SteadyStateDispatch|ScheduleOnly' -benchtime=100x -benchmem ./internal/engine \
+		| $(GO) run ./cmd/benchgate -bench 'SteadyStateDispatchTyped$$|ScheduleOnly$$' -max-allocs 0
+
 ## fuzz-smoke: a short fuzz of every Fuzz target (also run nightly in CI).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseProgram -fuzztime=$(FUZZTIME) ./internal/ir
 
-## bench: the per-figure benchmarks plus the obs overhead guards.
-bench:
+## bench: record the event-kernel wall-clock and allocation numbers into
+## BENCH_engine.json, then run the per-figure benchmarks plus the obs
+## overhead guards.
+bench: bench-engine
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-engine: time `-exp all` end to end and the engine micro-benchmarks,
+## and write BENCH_engine.json (see README "Performance" for how to read it).
+bench-engine:
+	$(GO) run ./cmd/benchtab -bench-engine BENCH_engine.json
 
 clean:
 	$(GO) clean ./...

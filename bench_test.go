@@ -17,8 +17,46 @@ import (
 	"offchip/internal/core"
 	"offchip/internal/experiments"
 	"offchip/internal/layout"
+	"offchip/internal/sim"
 	"offchip/internal/workloads"
 )
+
+// BenchmarkFullSweep is the end-to-end engine regression benchmark: one full
+// (untruncated) application simulation per iteration, reporting wall-clock
+// ns per simulated event and allocations. This is the number BENCH_engine.json
+// tracks across engine changes — the micro-benchmarks in internal/engine
+// isolate the queue, this one includes the caches, NoC, and DRAM model the
+// events drive.
+func BenchmarkFullSweep(b *testing.B) {
+	app, ok := workloads.ByName("apsi")
+	if !ok {
+		b.Fatal("apsi workload missing")
+	}
+	m := layout.Default8x8()
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, _, _, err := core.Workloads(app, m, cm, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.SimConfig(m, cm, core.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(cfg, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += r.Events
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/simevent")
+	}
+}
 
 func full() experiments.Config { return experiments.Config{} }
 

@@ -1,0 +1,85 @@
+// Command benchgate is the allocation-regression gate behind `make
+// bench-smoke`: it reads `go test -bench -benchmem` output on stdin, checks
+// the allocs/op of every benchmark matching -bench against a pinned
+// ceiling, and exits non-zero on a regression. The engine's steady-state
+// dispatch path is pinned at 0 allocs/op — the timing-wheel scheduler and
+// its free-lists exist precisely so the hot loop never allocates, and this
+// gate is what keeps that true:
+//
+//	go test -run='^$' -bench=... -benchtime=100x -benchmem ./internal/engine | benchgate -bench Steady -max-allocs 0
+//
+// The gate fails closed: if no benchmark line matches -bench (a rename, a
+// compile failure upstream), it errors rather than passing vacuously.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	benchRe := flag.String("bench", ".", "regexp of benchmark names the ceiling applies to")
+	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op for matching benchmarks")
+	flag.Parse()
+
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var checked, failed int
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the full bench log through for the CI record
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		if !re.MatchString(name) {
+			continue
+		}
+		for i, f := range fields {
+			if f != "allocs/op" || i == 0 {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: unparseable allocs/op %q\n", name, fields[i-1])
+				os.Exit(2)
+			}
+			checked++
+			if int64(v) > *maxAllocs {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds pinned ceiling %d\n",
+					name, v, *maxAllocs)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matched %q — the gate would be vacuous\n", *benchRe)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: OK — %d benchmark(s) within %d allocs/op\n", checked, *maxAllocs)
+}

@@ -28,8 +28,12 @@ import (
 	"strings"
 	"time"
 
+	"offchip/internal/core"
 	"offchip/internal/experiments"
+	"offchip/internal/layout"
 	"offchip/internal/runner"
+	"offchip/internal/sim"
+	"offchip/internal/workloads"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 	jobs := flag.Bool("jobs", false, "print the example sweep's job IDs (replay handles) without running")
 	progress := flag.Bool("progress", false, "print one line per finished job")
 	benchRunner := flag.String("bench-runner", "", "measure the sweep at 1 and -parallel workers; write wall clocks to this JSON file")
+	benchEngine := flag.String("bench-engine", "", "time the full experiment suite and a representative simulation against the pre-overhaul engine baseline; write the record to this JSON file")
 	flag.Parse()
 
 	cfg := experiments.Config{Parallel: *parallel, Seed: *seed}
@@ -81,6 +86,11 @@ func main() {
 		return
 	case *benchRunner != "":
 		if err := benchRunnerRun(cfg, *parallel, *benchRunner); err != nil {
+			fail(err)
+		}
+		return
+	case *benchEngine != "":
+		if err := benchEngineRun(cfg, *benchEngine); err != nil {
 			fail(err)
 		}
 		return
@@ -193,6 +203,105 @@ func benchRunnerRun(cfg experiments.Config, workers int, path string) error {
 	fmt.Printf("runner sweep: %d jobs, 1 worker %.1fs, %d workers %.1fs (%.2fx, %d CPUs) -> %s\n",
 		jobs, time1.Seconds(), workers, timeN.Seconds(),
 		time1.Seconds()/timeN.Seconds(), runtime.NumCPU(), path)
+	return nil
+}
+
+// Pre-overhaul engine baseline, measured on the commit immediately before
+// the timing-wheel rewrite (container/heap event queue, closure events,
+// same host, GOMAXPROCS unchanged, `benchtab -exp all` at 1 worker). The
+// micro numbers are BenchmarkSteadyStateDispatchHeapOracle, which still
+// runs the original queue verbatim: `go test -bench HeapOracle ./internal/engine`.
+const (
+	baselineExpAllSeconds    = 413.74
+	baselineMicroNsPerEvent  = 222.1
+	baselineMicroAllocsPerOp = 2
+)
+
+// benchEngineRun records the engine-overhaul regression numbers: wall clock
+// of the full experiment suite (the acceptance metric), plus end-to-end ns
+// and heap allocations per simulated event on a representative full
+// application run, all against the pinned pre-overhaul baseline.
+func benchEngineRun(cfg experiments.Config, path string) error {
+	// Representative simulation: apsi baseline trace, full length — the same
+	// machine BenchmarkFullSweep drives.
+	app, ok := workloads.ByName("apsi")
+	if !ok {
+		return fmt.Errorf("bench-engine: apsi workload missing")
+	}
+	m := layout.Default8x8()
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+	if err != nil {
+		return err
+	}
+	base, _, _, err := core.Workloads(app, m, cm, core.Options{})
+	if err != nil {
+		return err
+	}
+	simCfg := core.SimConfig(m, cm, core.Options{})
+	if _, err := sim.Run(simCfg, base); err != nil { // warm-up
+		return err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	simStart := time.Now()
+	r, err := sim.Run(simCfg, base)
+	if err != nil {
+		return err
+	}
+	simWall := time.Since(simStart)
+	runtime.ReadMemStats(&after)
+	nsPerEvent := float64(simWall.Nanoseconds()) / float64(r.Events)
+	allocsPerEvent := float64(after.Mallocs-before.Mallocs) / float64(r.Events)
+
+	// The acceptance metric: the full suite, same worker count as the
+	// baseline measurement (1).
+	fmt.Fprintln(os.Stderr, "bench-engine: running the full experiment suite (several minutes)...")
+	suiteStart := time.Now()
+	for _, id := range experiments.AllIDs() {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			return fmt.Errorf("bench-engine: %s: %w", id, err)
+		}
+	}
+	suiteWall := time.Since(suiteStart)
+
+	rec := map[string]any{
+		"bench":      "engine-overhaul",
+		"numcpu":     runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"baseline": map[string]any{
+			"queue":                  "container/heap + closure events",
+			"expall_seconds":         baselineExpAllSeconds,
+			"micro_ns_per_event":     baselineMicroNsPerEvent,
+			"micro_allocs_per_event": baselineMicroAllocsPerOp,
+		},
+		"current": map[string]any{
+			"queue":                  "timing wheel + pooled typed events",
+			"expall_seconds":         suiteWall.Seconds(),
+			"sim_events":             r.Events,
+			"sim_ns_per_event":       nsPerEvent,
+			"sim_allocs_per_event":   allocsPerEvent,
+			"micro_allocs_per_event": 0,
+			"micro_bench":            "go test -bench SteadyStateDispatch -benchmem ./internal/engine",
+		},
+		"expall_speedup": baselineExpAllSeconds / suiteWall.Seconds(),
+		"generated_at":   time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("engine: suite %.1fs vs baseline %.1fs (%.2fx); sim %.1f ns/event, %.4f allocs/event -> %s\n",
+		suiteWall.Seconds(), baselineExpAllSeconds, baselineExpAllSeconds/suiteWall.Seconds(),
+		nsPerEvent, allocsPerEvent, path)
 	return nil
 }
 

@@ -8,6 +8,7 @@ package cache
 import (
 	"fmt"
 
+	"offchip/internal/engine"
 	"offchip/internal/obs"
 )
 
@@ -30,7 +31,7 @@ type Cache struct {
 	// uninstrumented cache pays only nil checks).
 	comp      string
 	tracer    *obs.Tracer
-	now       func() int64
+	clock     engine.Clock
 	hitC      *obs.Counter
 	missC     *obs.Counter
 	evictC    *obs.Counter
@@ -39,14 +40,16 @@ type Cache struct {
 
 // Instrument attaches the cache to an observer under the component name
 // (e.g. "l1.3"): hit/miss/eviction counters in the registry plus, when a
-// tracer is present, per-access trace events stamped with now().
-func (c *Cache) Instrument(o *obs.Observer, comp string, now func() int64) {
+// tracer is present, per-access trace events stamped from the clock.
+// Taking engine.Clock (not a func) keeps the attachment allocation-free:
+// a *Sim converts to the interface directly, with no closure.
+func (c *Cache) Instrument(o *obs.Observer, comp string, clock engine.Clock) {
 	if o == nil {
 		return
 	}
 	c.comp = comp
 	c.tracer = o.Tracer
-	c.now = now
+	c.clock = clock
 	label := "comp=" + comp
 	c.hitC = o.Reg.Counter("cache", "hits", label)
 	c.missC = o.Reg.Counter("cache", "misses", label)
@@ -106,7 +109,7 @@ func (c *Cache) Access(addr int64) (hit bool, evicted int64) {
 			c.Hits++
 			c.hitC.Inc()
 			if c.tracer.Enabled() {
-				c.tracer.Emit(c.now(), "cache", "hit", c.comp, 0)
+				c.tracer.Emit(c.clock.Now(), "cache", "hit", c.comp, 0)
 			}
 			return true, -1
 		}
@@ -128,9 +131,9 @@ func (c *Cache) Access(addr int64) (hit bool, evicted int64) {
 	c.valid[s][victim] = true
 	c.lastUse[s][victim] = c.tick
 	if c.tracer.Enabled() {
-		c.tracer.Emit(c.now(), "cache", "miss", c.comp, 0)
+		c.tracer.Emit(c.clock.Now(), "cache", "miss", c.comp, 0)
 		if evicted >= 0 {
-			c.tracer.Emit(c.now(), "cache", "evict", c.comp, 0)
+			c.tracer.Emit(c.clock.Now(), "cache", "evict", c.comp, 0)
 		}
 	}
 	return false, evicted

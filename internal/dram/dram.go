@@ -60,12 +60,42 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Completion receives a request's completion time. Callers that care about
+// the allocation-free hot path implement it on their pooled per-access
+// event object; Submit wraps legacy func callbacks in it.
+type Completion interface {
+	MemDone(finish int64)
+}
+
+// funcCompletion adapts a legacy callback to Completion. Func values are
+// pointer-shaped, so the conversion itself does not allocate.
+type funcCompletion func(finish int64)
+
+func (f funcCompletion) MemDone(finish int64) { f(finish) }
+
+// request is one in-flight controller request. Requests are pooled on the
+// controller and double as the engine event for their own completion
+// (engine.Handler), so steady-state service allocates nothing.
 type request struct {
 	addr   int64
 	arrive int64
 	bank   int
 	row    int64
-	onDone func(finish int64)
+	finish int64
+	done   Completion
+	c      *Controller
+	next   *request // controller free-list
+}
+
+// Handle is the bank-service completion event: deliver the finish time to
+// the submitter, then let the controller schedule its next picks. The
+// request recycles itself first — the completion may immediately submit a
+// new request, which is allowed to reuse this node.
+func (r *request) Handle(int64) {
+	c, done, finish := r.c, r.done, r.finish
+	c.freeReq(r)
+	done.MemDone(finish)
+	c.dispatch()
 }
 
 type bank struct {
@@ -81,14 +111,16 @@ type Controller struct {
 	obs  *obs.Observer
 	comp string // trace component name, "mc0"…
 
-	banks   []bank
-	pending []*request
+	banks    []bank
+	pending  []*request
+	freeReqs *request // recycled request nodes
 
 	// OnSubmit, when set, observes every submitted (local) address; used by
 	// tests and diagnostics.
 	OnSubmit func(addr int64)
 
 	// Aggregate stats, mirrored into registry counters.
+	Submitted       int64 // requests accepted (conservation: Submitted == Served at drain)
 	Served          int64 // requests completed
 	TotalMemLatency int64 // Σ (finish − arrive): the "memory latency" of Figure 4
 	TotalQueueWait  int64 // Σ (service start − arrive)
@@ -144,15 +176,38 @@ func (c *Controller) bankOf(addr int64) (int, int64) {
 	return int(bank), rowID / int64(c.cfg.BanksPerMC)
 }
 
-// Submit enqueues a request at the current simulation time; onDone fires at
-// the completion time.
-func (c *Controller) Submit(addr int64, onDone func(finish int64)) {
+// allocReq hands out a pooled request node bound to this controller.
+func (c *Controller) allocReq() *request {
+	r := c.freeReqs
+	if r == nil {
+		return &request{c: c}
+	}
+	c.freeReqs = r.next
+	r.next = nil
+	return r
+}
+
+// freeReq recycles a completed request, dropping the Completion reference so
+// pooled caller events are not retained.
+func (c *Controller) freeReq(r *request) {
+	r.done = nil
+	r.next = c.freeReqs
+	c.freeReqs = r
+}
+
+// SubmitTo enqueues a request at the current simulation time; done.MemDone
+// fires at the completion time. This is the allocation-free path: the
+// request node comes from the controller's pool and doubles as the
+// completion event.
+func (c *Controller) SubmitTo(addr int64, done Completion) {
 	if c.OnSubmit != nil {
 		c.OnSubmit(addr)
 	}
 	b, row := c.bankOf(addr)
 	now := c.sim.Now()
-	r := &request{addr: addr, arrive: now, bank: b, row: row, onDone: onDone}
+	r := c.allocReq()
+	r.addr, r.arrive, r.bank, r.row, r.done = addr, now, b, row, done
+	c.Submitted++
 	c.pending = append(c.pending, r)
 	c.queueLen.Set(now, int64(len(c.pending)))
 	if tr := c.obs.Tracer; tr.Enabled() {
@@ -160,6 +215,13 @@ func (c *Controller) Submit(addr int64, onDone func(finish int64)) {
 			"bank="+strconv.Itoa(b), "addr="+strconv.FormatInt(addr, 16))
 	}
 	c.dispatch()
+}
+
+// Submit enqueues a request with a func callback — the compatibility shim
+// over SubmitTo for call sites that have not migrated to pooled Completions;
+// the closure costs one allocation per call.
+func (c *Controller) Submit(addr int64, onDone func(finish int64)) {
+	c.SubmitTo(addr, funcCompletion(onDone))
 }
 
 // dispatch serves every idle bank its FR-FCFS pick.
@@ -208,11 +270,8 @@ func (c *Controller) dispatch() {
 		if tr := c.obs.Tracer; tr.Enabled() {
 			tr.Emit(now, "dram", outcome, c.comp, dur, "bank="+strconv.Itoa(bi))
 		}
-		req := r
-		c.sim.At(finish, func() {
-			req.onDone(finish)
-			c.dispatch()
-		})
+		r.finish = finish
+		c.sim.Schedule(finish, r)
 	}
 }
 

@@ -1,6 +1,9 @@
 package engine
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestEventOrdering(t *testing.T) {
 	var s Sim
@@ -74,6 +77,86 @@ func TestResourceReserve(t *testing.T) {
 	if r.FreeAt() != 105 {
 		t.Errorf("FreeAt = %d", r.FreeAt())
 	}
+}
+
+// TestOverflowHorizonOrdering pins the wheel/overflow seam: events beyond
+// the wheel window must interleave with near events in exact (time, seq)
+// order, including ties between an overflow event and a later direct-wheel
+// event at the same time.
+func TestOverflowHorizonOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	record := func(id int) func() { return func() { order = append(order, id) } }
+	s.At(2*wheelSize+5, record(0)) // far future: overflow heap
+	s.At(3*wheelSize, record(1))   // farther
+	s.At(1, record(2))             // near: wheel
+	s.At(1, func() {
+		order = append(order, 3)
+		// Scheduled mid-run for the same time an overflow event already
+		// occupies: the overflow event has the smaller seq and must run
+		// first once the window reaches it.
+		s.At(2*wheelSize+5, record(4))
+	})
+	end := s.Run()
+	want := []int{2, 3, 0, 4, 1}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 3*wheelSize {
+		t.Errorf("end = %d, want %d", end, 3*wheelSize)
+	}
+}
+
+// TestReusedSimKeepsDeterministicOrdering is the regression test for the
+// drained-then-reused case: a Sim that ran to completion must accept new
+// events, keep its clock monotonic, and preserve (time, seq) ordering —
+// recycled nodes and a non-zero starting time must not perturb dispatch.
+func TestReusedSimKeepsDeterministicOrdering(t *testing.T) {
+	var s Sim
+	var order []int64
+	s.At(40, func() { order = append(order, s.Now()) })
+	s.At(7, func() { order = append(order, s.Now()) })
+	if end := s.Run(); end != 40 {
+		t.Fatalf("first drain ended at %d", end)
+	}
+	// Reuse: past times clamp to the drained clock, ties keep insert order.
+	s.At(5, func() { order = append(order, 1000+s.Now()) })  // clamps to 40
+	s.At(40, func() { order = append(order, 2000+s.Now()) }) // same time, later seq
+	s.At(90, func() { order = append(order, s.Now()) })
+	if end := s.Run(); end != 90 {
+		t.Fatalf("second drain ended at %d", end)
+	}
+	want := []int64{7, 40, 1040, 2040, 90}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Processed() != 5 {
+		t.Errorf("processed = %d across reuse, want 5", s.Processed())
+	}
+}
+
+// TestSeqExhaustionPanics guards the sequence-counter overflow hazard: the
+// tie-breaker must never silently wrap (which would corrupt dispatch
+// order), so the engine fails hard instead.
+func TestSeqExhaustionPanics(t *testing.T) {
+	var s Sim
+	s.seq = math.MaxInt64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at an exhausted sequence counter did not panic")
+		}
+	}()
+	s.At(1, func() {})
 }
 
 func TestDeterminism(t *testing.T) {

@@ -1,0 +1,199 @@
+package sim_test
+
+// Conservation invariant battery: every access injected into the machine
+// must be delivered — through the caches, the NoC, and the DRAM
+// controllers — with nothing dropped, duplicated, or left in flight when
+// the event queue drains. The battery runs every workload in
+// internal/workloads through both L2 organizations (and the optimal scheme
+// on one), so a lost or double-counted event anywhere in the pooled
+// event-recycling hot path fails loudly rather than skewing a figure.
+// `make conservation` runs it under -race -count=2.
+
+import (
+	"testing"
+
+	"offchip/internal/core"
+	"offchip/internal/layout"
+	"offchip/internal/sim"
+	"offchip/internal/workloads"
+)
+
+// conserved asserts the flow invariants on a drained run.
+func conserved(t *testing.T, r *sim.Result, w *sim.Workload, optimal bool) {
+	t.Helper()
+	total := w.TotalAccesses()
+	if r.Total != total {
+		t.Errorf("injected %d of %d trace accesses", r.Total, total)
+	}
+	if r.Completed != r.Total {
+		t.Errorf("completed %d of %d injected accesses (events lost or duplicated)", r.Completed, r.Total)
+	}
+	if got := r.L1Hits + r.L2LocalHits + r.OnChipRemote + r.OffChip; got != r.Total {
+		t.Errorf("outcomes don't partition: l1=%d l2=%d remote=%d offchip=%d sum=%d total=%d",
+			r.L1Hits, r.L2LocalHits, r.OnChipRemote, r.OffChip, got, r.Total)
+	}
+	if optimal {
+		// The optimal scheme bypasses the controllers (MemServed is the
+		// synthetic row-hit count) — nothing may reach a real queue.
+		if r.MemSubmitted != 0 {
+			t.Errorf("optimal scheme submitted %d controller requests", r.MemSubmitted)
+		}
+	} else if r.MemSubmitted != r.MemServed {
+		t.Errorf("DRAM requests: submitted %d, served %d", r.MemSubmitted, r.MemServed)
+	}
+	// Exactly one memory service per off-chip access, in both modes.
+	if r.MemServed != r.OffChip {
+		t.Errorf("served %d memory requests for %d off-chip accesses", r.MemServed, r.OffChip)
+	}
+	// Every injected NoC message was delivered: the hop CDF of a class with
+	// traffic must reach exactly 1.
+	for c := 0; c < 2; c++ {
+		if r.NetMsgs[c] == 0 {
+			continue
+		}
+		cdf := r.HopCDF[c]
+		if len(cdf) == 0 || cdf[len(cdf)-1] != 1 {
+			t.Errorf("class %d hop CDF does not close at 1: %v", c, cdf)
+		}
+	}
+	if r.Events <= r.Total {
+		t.Errorf("processed %d events for %d accesses (multi-stage flow missing)", r.Events, r.Total)
+	}
+}
+
+// TestConservationAllWorkloads sweeps every bundled application, capped to a
+// short trace, through private and shared L2 machines.
+func TestConservationAllWorkloads(t *testing.T) {
+	for _, app := range workloads.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+				m := layout.Default8x8()
+				m.L2 = l2
+				cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := core.Options{MaxAccessesPerThread: 120}
+				base, optim, _, err := core.Workloads(app, m, cm, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.SimConfig(m, cm, opt)
+				for name, w := range map[string]*sim.Workload{"base": base, "optim": optim} {
+					r, err := sim.Run(cfg, w)
+					if err != nil {
+						t.Fatalf("%v/%s: %v", l2, name, err)
+					}
+					conserved(t, r, w, false)
+				}
+			}
+		})
+	}
+}
+
+// TestConservationOptimalScheme checks the Section 2 optimal scheme, which
+// takes the controller-bypassing path, on one representative app per L2
+// organization.
+func TestConservationOptimalScheme(t *testing.T) {
+	app, ok := workloads.ByName("apsi")
+	if !ok {
+		t.Fatal("apsi workload missing")
+	}
+	for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+		m := layout.Default8x8()
+		m.L2 = l2
+		cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := core.Options{MaxAccessesPerThread: 120}
+		base, _, _, err := core.Workloads(app, m, cm, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.SimConfig(m, cm, opt)
+		cfg.OptimalOffchip = true
+		r, err := sim.Run(cfg, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conserved(t, r, base, true)
+	}
+}
+
+// TestConservationHeavyContention drives a deliberately hot configuration —
+// many outstanding misses, every line on one controller — so queueing at
+// the banks and links is deep, and still nothing may be lost.
+func TestConservationHeavyContention(t *testing.T) {
+	m := layout.Machine{
+		MeshX: 4, MeshY: 4,
+		NumMCs:     4,
+		LineBytes:  64,
+		PageBytes:  512,
+		L2:         layout.PrivateL2,
+		Interleave: layout.LineInterleave,
+	}
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(m, cm)
+	cfg.L1Bytes = 1024
+	cfg.L2Bytes = 4096
+	cfg.MLPWindow = 16
+	var streams []sim.Stream
+	for c := 0; c < m.Cores(); c++ {
+		var accs []sim.Access
+		for i := int64(0); i < 200; i++ {
+			// Strided so almost everything misses and lands on MC0.
+			accs = append(accs, sim.Access{VAddr: (int64(c)*4099 + i*256*4) % (1 << 22), DesiredMC: -1})
+		}
+		streams = append(streams, sim.Stream{Core: c, Accesses: accs})
+	}
+	w := &sim.Workload{Name: "contention", Streams: streams}
+	r, err := sim.Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserved(t, r, w, false)
+	if r.MemQueue <= 0 {
+		t.Error("contention workload produced no queue wait — test is not stressing the queues")
+	}
+}
+
+// TestConservationShortTraces covers the degenerate small cases (single
+// access, single stream, multiprogrammed pair) where off-by-one event
+// recycling bugs hide.
+func TestConservationShortTraces(t *testing.T) {
+	m := layout.Machine{
+		MeshX: 4, MeshY: 4,
+		NumMCs:     4,
+		LineBytes:  64,
+		PageBytes:  512,
+		L2:         layout.PrivateL2,
+		Interleave: layout.LineInterleave,
+	}
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(m, cm)
+	cfg.L1Bytes = 1024
+	cfg.L2Bytes = 4096
+	cases := []*sim.Workload{
+		{Name: "one", Streams: []sim.Stream{{Core: 0, Accesses: []sim.Access{{VAddr: 0, DesiredMC: -1}}}}},
+		{Name: "pair", Streams: []sim.Stream{
+			{Core: 0, AppID: 0, Accesses: []sim.Access{{VAddr: 0, DesiredMC: -1}, {VAddr: 64, DesiredMC: -1}}},
+			{Core: 0, AppID: 1, Accesses: []sim.Access{{VAddr: 0, DesiredMC: -1}}},
+		}},
+	}
+	for i, w := range cases {
+		r, err := sim.Run(cfg, w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		conserved(t, r, w, false)
+	}
+}

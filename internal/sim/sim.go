@@ -196,10 +196,15 @@ type Result struct {
 
 	// Access outcome counts.
 	Total        int64
+	Completed    int64 // accesses fully retired — conservation: == Total at drain
 	L1Hits       int64
 	L2LocalHits  int64 // private: local L2 hit; shared: home-bank hit
 	OnChipRemote int64 // private: L2-to-L2 transfer
 	OffChip      int64
+
+	// Events is the number of engine events the run processed (the
+	// denominator of the ns-per-simulated-event benchmark figure).
+	Events int64
 
 	// Network statistics by class (from the NoC).
 	NetMsgs    [2]int64
@@ -208,12 +213,13 @@ type Result struct {
 	HopCDF     [2][]float64
 
 	// Off-chip memory statistics (from the controllers).
-	MemLatency  int64 // Σ queue+service
-	MemQueue    int64 // Σ queue wait
-	MemServed   int64
-	RowHits     int64
-	QueueOcc    []float64 // per-MC time-averaged queue length
-	AvgQueueOcc float64
+	MemLatency   int64 // Σ queue+service
+	MemQueue     int64 // Σ queue wait
+	MemServed    int64
+	MemSubmitted int64 // requests accepted by controllers — conservation: == MemServed at drain (0 under OptimalOffchip, which bypasses the controllers)
+	RowHits      int64
+	QueueOcc     []float64 // per-MC time-averaged queue length
+	AvgQueueOcc  float64
 
 	// AccessMap[node][mc] counts off-chip requests sent from each node to
 	// each controller (Figure 13).
@@ -284,7 +290,142 @@ type machine struct {
 	coreComp  []string
 	seedMix   uint64 // Seed pre-mixed for the jitter hash (0 when Seed is 0)
 
+	freeEvents *accessEvent // recycled access events
+
 	running int // streams not yet finished
+}
+
+// accessEvent stages: which step of the Figure 2 flow the event represents
+// when it fires. One pooled accessEvent walks an access through its whole
+// lifetime, rescheduling itself stage by stage, so the per-access hot path
+// performs zero heap allocations.
+const (
+	stStart          = iota // core start-stagger kick-off
+	stProcess               // issue: run the access through L1 and the Figure 2 flow
+	stComplete              // retire at the current time
+	stPrivOptFinish         // private optimal scheme: memory done, send data back
+	stPrivSubmit            // private: request arrives at the MC directory, submit to DRAM
+	stSharedHomeHit         // shared: home-bank hit, send data back to the L1
+	stSharedBank            // shared: miss reaches the home bank, forward to the MC
+	stSharedOptServe        // shared optimal scheme: memory done, fill the home bank
+	stSharedSubmit          // shared: request arrives at the MC, submit to DRAM
+	stSharedFill            // shared: fill arrives at the home bank, send to the L1
+)
+
+// accessEvent is one in-flight memory access. It implements both
+// engine.Handler (its own continuation at each stage) and dram.Completion
+// (the controller calls MemDone directly on it), and is recycled through the
+// machine's free-list at retirement.
+type accessEvent struct {
+	m    *machine
+	next *accessEvent // machine free-list
+
+	stage int8
+	last  bool
+	core  int
+	app   int
+	mcID  int
+	acc   Access
+	t     int64 // stage-specific captured time (e.g. the optimal scheme's finish)
+	local int64 // controller-local address
+
+	coreNode mesh.Node
+	mcNode   mesh.Node
+	homeNode mesh.Node
+}
+
+// allocEvent hands out a pooled access event bound to the machine.
+func (m *machine) allocEvent() *accessEvent {
+	e := m.freeEvents
+	if e == nil {
+		return &accessEvent{m: m}
+	}
+	m.freeEvents = e.next
+	e.next = nil
+	return e
+}
+
+// freeEvent recycles a retired access event.
+func (m *machine) freeEvent(e *accessEvent) {
+	e.next = m.freeEvents
+	m.freeEvents = e
+}
+
+// Handle advances the access one stage. Times mirror the closure-based
+// implementation exactly: stages that previously captured a time use e.t,
+// stages that previously read sim.Now() use now — the event schedule is
+// 1:1 with the old code, so dispatch order (and every statistic) is
+// bit-for-bit identical.
+func (e *accessEvent) Handle(now int64) {
+	m := e.m
+	switch e.stage {
+	case stStart:
+		core := e.core
+		m.freeEvent(e)
+		m.tryIssue(core)
+	case stProcess:
+		m.process(e)
+	case stComplete:
+		core, app, last := e.core, e.app, e.last
+		m.freeEvent(e)
+		m.complete(core, app, last)
+	case stPrivOptFinish:
+		tBack, _ := m.net.Transit(e.t, e.mcNode, e.coreNode, noc.OffChip)
+		e.stage = stComplete
+		m.sim.Schedule(tBack, e)
+	case stPrivSubmit:
+		m.mcs[e.mcID].SubmitTo(e.local, e)
+	case stSharedHomeHit:
+		// Path 5: home bank → L1.
+		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		e.stage = stComplete
+		m.sim.Schedule(tData, e)
+	case stSharedBank:
+		// Paths 2–4, issued by the home bank.
+		tReq, _ := m.net.Transit(now, e.homeNode, e.mcNode, noc.OffChip)
+		if m.cfg.OptimalOffchip {
+			finish := tReq + m.cfg.DRAM.TRowHit
+			m.res.MemLatency += m.cfg.DRAM.TRowHit
+			m.res.MemServed++
+			e.stage, e.t = stSharedOptServe, finish
+			m.sim.Schedule(finish, e)
+			return
+		}
+		e.stage = stSharedSubmit
+		m.sim.Schedule(tReq, e)
+	case stSharedSubmit:
+		m.mcs[e.mcID].SubmitTo(e.local, e)
+	case stSharedOptServe:
+		tFill, _ := m.net.Transit(e.t, e.mcNode, e.homeNode, noc.OffChip)
+		e.stage = stSharedFill
+		m.sim.Schedule(tFill, e)
+	case stSharedFill:
+		// Path 5: home bank → L1.
+		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		e.stage = stComplete
+		m.sim.Schedule(tData, e)
+	default:
+		panic("sim: accessEvent in unknown stage")
+	}
+}
+
+// MemDone receives the DRAM completion (dram.Completion): route the data
+// back toward the requester (private) or the home bank (shared). The stage
+// still holds the submit stage that handed the event to the controller.
+func (e *accessEvent) MemDone(finish int64) {
+	m := e.m
+	switch e.stage {
+	case stPrivSubmit:
+		tBack, _ := m.net.Transit(finish, e.mcNode, e.coreNode, noc.OffChip)
+		e.stage = stComplete
+		m.sim.Schedule(tBack, e)
+	case stSharedSubmit:
+		tFill, _ := m.net.Transit(finish, e.mcNode, e.homeNode, noc.OffChip)
+		e.stage = stSharedFill
+		m.sim.Schedule(tFill, e)
+	default:
+		panic("sim: MemDone in unknown stage")
+	}
 }
 
 // totalOutstanding sums in-flight accesses across cores (live reporting).
@@ -353,8 +494,8 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	for i := 0; i < cores; i++ {
 		l1 := cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways)
 		l2 := cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways)
-		l1.Instrument(o, fmt.Sprintf("l1.%d", i), m.sim.Now)
-		l2.Instrument(o, fmt.Sprintf("l2.%d", i), m.sim.Now)
+		l1.Instrument(o, fmt.Sprintf("l1.%d", i), m.sim)
+		l2.Instrument(o, fmt.Sprintf("l2.%d", i), m.sim)
 		m.l1s = append(m.l1s, l1)
 		m.l2s = append(m.l2s, l2)
 		m.cores = append(m.cores, &coreState{})
@@ -400,8 +541,9 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		m.preTouch(w)
 	}
 	for core := range m.cores {
-		c := core
-		m.sim.At(int64(core)*cfg.StartStagger, func() { m.tryIssue(c) })
+		e := m.allocEvent()
+		e.stage, e.core = stStart, core
+		m.sim.Schedule(int64(core)*cfg.StartStagger, e)
 	}
 	m.sim.Run()
 
@@ -495,8 +637,9 @@ func (m *machine) tryIssue(core int) {
 		}
 		cs.issued++
 		cs.nextFree = t + gap
-		done := ss.done
-		m.sim.At(t, func() { m.process(core, app, acc, done) })
+		e := m.allocEvent()
+		e.stage, e.core, e.app, e.acc, e.last = stProcess, core, app, acc, ss.done
+		m.sim.Schedule(t, e)
 	}
 	// Window full with work remaining: the core stalls until a miss returns.
 	// (Do not use nextReady here — it advances the round-robin pointer, and
@@ -528,6 +671,7 @@ func (m *machine) nextReady(cs *coreState) *streamState {
 func (m *machine) complete(core, app int, last bool) {
 	cs := m.cores[core]
 	cs.outstanding--
+	m.res.Completed++
 	if tr := m.obs.Tracer; tr.Enabled() {
 		tr.Emit(m.sim.Now(), "core", "retire", m.coreComp[core], 0)
 	}
@@ -543,33 +687,37 @@ func (m *machine) complete(core, app int, last bool) {
 	m.tryIssue(core)
 }
 
-// process runs one access through the Figure 2 flow.
-func (m *machine) process(core, app int, acc Access, last bool) {
+// process runs one access through the Figure 2 flow, rescheduling the
+// pooled event for its next stage.
+func (m *machine) process(e *accessEvent) {
 	m.res.Total++
 	m.totalC.Inc()
-	paddr := m.spaces[app].Translate(acc.VAddr, core, int(acc.DesiredMC))
+	paddr := m.spaces[e.app].Translate(e.acc.VAddr, e.core, int(e.acc.DesiredMC))
 
 	// L1.
-	if hit, _ := m.l1s[core].Access(paddr); hit {
-		m.sim.After(m.cfg.L1Latency, func() { m.complete(core, app, last) })
+	if hit, _ := m.l1s[e.core].Access(paddr); hit {
+		e.stage = stComplete
+		m.sim.ScheduleAfter(m.cfg.L1Latency, e)
 		return
 	}
 	if m.cfg.Machine.L2 == layout.SharedL2 {
-		m.processShared(core, app, paddr, last)
+		m.processShared(e, paddr)
 		return
 	}
-	m.processPrivate(core, app, paddr, last)
+	m.processPrivate(e, paddr)
 }
 
 // processPrivate follows Figure 2a: local L2, then the directory cached at
 // the line's MC, then an L2-to-L2 transfer or an off-chip access.
-func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
+func (m *machine) processPrivate(e *accessEvent, paddr int64) {
+	core, app := e.core, e.app
 	t0 := m.sim.Now() + m.cfg.L1Latency
 	line := m.l2s[core].LineAddr(paddr)
 	if hit, evicted := m.l2s[core].Access(paddr); hit {
 		m.res.L2LocalHits++
 		m.l2LocalC.Inc()
-		m.sim.At(t0+m.cfg.L2Latency, func() { m.complete(core, app, last) })
+		e.stage = stComplete
+		m.sim.Schedule(t0+m.cfg.L2Latency, e)
 		return
 	} else if evicted >= 0 {
 		m.dir.Remove(evicted, core)
@@ -595,13 +743,15 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 		tFwd, _ := m.net.Transit(tDir, mcNode, ownerNode, noc.OnChip)
 		tOwn := tFwd + m.cfg.L2Latency
 		tData, _ := m.net.Transit(tOwn, ownerNode, coreNode, noc.OnChip)
-		m.sim.At(tData, func() { m.complete(core, app, last) })
+		e.stage = stComplete
+		m.sim.Schedule(tData, e)
 		return
 	}
 
 	// Off-chip (paths 1–3 of Figure 2a).
 	m.res.OffChip++
 	m.offChipC.Inc()
+	e.coreNode = coreNode
 	if m.cfg.OptimalOffchip {
 		// Section 2 optimal scheme: nearest controller, no bank contention.
 		nearest := m.cfg.Mapping.Placement.NearestMC(coreNode)
@@ -611,22 +761,16 @@ func (m *machine) processPrivate(core, app int, paddr int64, last bool) {
 		finish := tArr + m.cfg.DirLatency + m.cfg.DRAM.TRowHit
 		m.res.MemLatency += m.cfg.DRAM.TRowHit
 		m.res.MemServed++
-		m.sim.At(finish, func() {
-			tBack, _ := m.net.Transit(finish, nearNode, coreNode, noc.OffChip)
-			m.sim.At(tBack, func() { m.complete(core, app, last) })
-		})
+		e.stage, e.t, e.mcNode = stPrivOptFinish, finish, nearNode
+		m.sim.Schedule(finish, e)
 		return
 	}
 	m.accessMap[core][mcID].Inc()
 	tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OffChip)
 	tDir := tArr + m.cfg.DirLatency
-	local := mem.LocalAddr(paddr, m.memCfg)
-	m.sim.At(tDir, func() {
-		m.mcs[mcID].Submit(local, func(finish int64) {
-			tBack, _ := m.net.Transit(finish, mcNode, coreNode, noc.OffChip)
-			m.sim.At(tBack, func() { m.complete(core, app, last) })
-		})
-	})
+	e.stage, e.mcID, e.mcNode = stPrivSubmit, mcID, mcNode
+	e.local = mem.LocalAddr(paddr, m.memCfg)
+	m.sim.Schedule(tDir, e)
 }
 
 // ownerOf returns the core (≠ requester) nearest to the requester whose L2
@@ -655,12 +799,16 @@ func (m *machine) ownerOf(line int64, requester int) int {
 }
 
 // processShared follows Figure 2b: the home L2 bank, then the controller.
-func (m *machine) processShared(core, app int, paddr int64, last bool) {
+// The continuation stages (stSharedBank → stSharedSubmit/stSharedOptServe →
+// stSharedFill → stComplete) live on the pooled event.
+func (m *machine) processShared(e *accessEvent, paddr int64) {
+	core, app := e.core, e.app
 	t0 := m.sim.Now() + m.cfg.L1Latency
 	cores := m.cfg.Machine.Cores()
 	home := mem.HomeBank(paddr, m.cfg.Machine.LineUnit(), cores)
 	homeNode := mesh.CoordOf(home, m.cfg.Machine.MeshX)
 	coreNode := mesh.CoordOf(core, m.cfg.Machine.MeshX)
+	e.coreNode, e.homeNode = coreNode, homeNode
 
 	// Path 1: L1 → home bank.
 	tArr, _ := m.net.Transit(t0, coreNode, homeNode, noc.OnChip)
@@ -668,11 +816,8 @@ func (m *machine) processShared(core, app int, paddr int64, last bool) {
 	if hit, _ := m.l2s[home].Access(paddr); hit {
 		m.res.L2LocalHits++
 		m.l2LocalC.Inc()
-		m.sim.At(tBank, func() {
-			// Path 5: home bank → L1.
-			tData, _ := m.net.Transit(m.sim.Now(), homeNode, coreNode, noc.OnChip)
-			m.sim.At(tData, func() { m.complete(core, app, last) })
-		})
+		e.stage = stSharedHomeHit
+		m.sim.Schedule(tBank, e)
 		return
 	}
 
@@ -685,26 +830,9 @@ func (m *machine) processShared(core, app int, paddr int64, last bool) {
 	}
 	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
 	m.accessMap[home][mcID].Inc()
-	m.sim.At(tBank, func() {
-		tReq, _ := m.net.Transit(m.sim.Now(), homeNode, mcNode, noc.OffChip)
-		serve := func(finish int64) {
-			tFill, _ := m.net.Transit(finish, mcNode, homeNode, noc.OffChip)
-			m.sim.At(tFill, func() {
-				// Path 5: home bank → L1.
-				tData, _ := m.net.Transit(m.sim.Now(), homeNode, coreNode, noc.OnChip)
-				m.sim.At(tData, func() { m.complete(core, app, last) })
-			})
-		}
-		if m.cfg.OptimalOffchip {
-			finish := tReq + m.cfg.DRAM.TRowHit
-			m.res.MemLatency += m.cfg.DRAM.TRowHit
-			m.res.MemServed++
-			m.sim.At(finish, func() { serve(finish) })
-			return
-		}
-		local := mem.LocalAddr(paddr, m.memCfg)
-		m.sim.At(tReq, func() { m.mcs[mcID].Submit(local, serve) })
-	})
+	e.stage, e.mcID, e.mcNode = stSharedBank, mcID, mcNode
+	e.local = mem.LocalAddr(paddr, m.memCfg)
+	m.sim.Schedule(tBank, e)
 }
 
 // finishStats folds substrate statistics into the result.
@@ -725,11 +853,13 @@ func (m *machine) finishStats(w *Workload) {
 		r.NetLatency[c] = m.net.Latency[c]
 		r.HopCDF[c] = m.net.HopCDF(noc.Class(c))
 	}
+	r.Events = m.sim.Processed()
 	for _, mc := range m.mcs {
 		if !m.cfg.OptimalOffchip {
 			r.MemLatency += mc.TotalMemLatency
 			r.MemServed += mc.Served
 		}
+		r.MemSubmitted += mc.Submitted
 		r.MemQueue += mc.TotalQueueWait
 		r.RowHits += mc.RowHits
 		r.QueueOcc = append(r.QueueOcc, mc.QueueOccupancy(r.ExecTime))
