@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race determinism conservation bench-smoke fuzz-smoke bench bench-engine clean
+.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke fuzz-smoke bench bench-engine clean
 
 ## check: everything CI enforces — vet, formatting, build, tests under -race,
-## the sequential-vs-parallel determinism gate, the message-conservation
-## battery, and the engine allocation gate.
-check: vet fmt build test-race determinism conservation bench-smoke
+## the sequential-vs-parallel determinism gate, the invariant/metamorphic
+## validation battery, and the engine allocation gate.
+check: vet fmt build test-race determinism validate bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,9 +33,18 @@ test-race:
 determinism:
 	$(GO) test -run Determinism -race -count=2 ./...
 
-## conservation: the message-conservation battery — every workload's injected
-## requests must equal delivered responses across noc/cache/dram. Run under
-## -race and twice (cache defeated) like the determinism gate.
+## validate: the simulator-wide validation battery — every runtime invariant
+## probe (causality, conservation, XY routing, zero-load oracles, the
+## FR-FCFS starvation bound, address-map bijection) over every bundled
+## workload, both L2 organizations, and the optimal scheme, plus the
+## metamorphic relations (faster DRAM / ideal NoC / optimal scheme never
+## slower; seeds never change totals). Subsumes the old `conservation`
+## target, whose identities now live in check.VerifyTotals.
+validate:
+	$(GO) test -race ./internal/check
+	$(GO) test -run Conservation -race -count=2 ./internal/sim
+
+## conservation: legacy alias for the conservation half of `validate`.
 conservation:
 	$(GO) test -run Conservation -race -count=2 ./internal/sim
 

@@ -68,6 +68,7 @@ func run() error {
 	report := flag.Bool("report", false, "print the post-run observability dashboard")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	parallel := flag.Bool("parallel", false, "run the baseline/optimized/optimal simulations concurrently (identical results)")
+	checkRun := flag.Bool("check", false, "attach the invariant checker to every run and fail on any violation")
 	seed := flag.Uint64("seed", 0, "jitter seed; 0 keeps the historical stream of the recorded figures")
 	replay := flag.String("replay", "", "re-run one sweep job from its canonical ID (see benchtab -jobs) and exit")
 	flag.Parse()
@@ -178,7 +179,7 @@ func run() error {
 		bench = &workloads.App{Name: prog.Name, Source: string(mustRead(*src)), Demand: layout.DefaultDemand()}
 	}
 
-	opt := core.Options{Concurrent: *parallel, Seed: *seed}
+	opt := core.Options{Concurrent: *parallel, Seed: *seed, Check: *checkRun}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -211,6 +212,23 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "offchip: wrote %d trace events to %s (load in chrome://tracing or Perfetto)\n",
 			tracer.Kept(), *traceOut)
+	}
+	if *checkRun {
+		bad := 0
+		for _, run := range []string{"baseline", "optimized", "optimal"} {
+			vs := c.Checks[run]
+			if len(vs) == 0 {
+				fmt.Fprintf(os.Stderr, "offchip: check %-9s ok\n", run)
+				continue
+			}
+			bad += len(vs)
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "offchip: check %-9s VIOLATION %s\n", run, v)
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("invariant checker found %d violation(s)", bad)
+		}
 	}
 
 	t := &stats.Table{

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"offchip/internal/engine"
+	"offchip/internal/mesh"
 	"offchip/internal/obs"
 )
 
@@ -189,19 +190,30 @@ func NewDirectory() *Directory {
 	return &Directory{sharers: map[int64]uint64{}}
 }
 
-// Owner returns a core whose L2 holds the line (the lowest-numbered
-// sharer), or -1 when no L2 holds it.
-func (d *Directory) Owner(line int64) int {
+// Owner returns the core whose L2 holds the line that is nearest to the
+// requester by mesh hop distance (on a width-meshX mesh, row-major core
+// IDs), or -1 when no other L2 holds it. The requester itself is excluded —
+// its own L2 already missed. Ties break toward the lowest core ID, keeping
+// the choice deterministic. Picking the nearest sharer models a
+// distance-aware directory: always forwarding from the lowest-numbered
+// sharer would bias every cache-to-cache transfer toward core 0's corner
+// and turn it into a hotspot for widely shared lines.
+func (d *Directory) Owner(line int64, requester, meshX int) int {
 	m := d.sharers[line]
 	if m == 0 {
 		return -1
 	}
+	reqNode := mesh.CoordOf(requester, meshX)
+	best, bestD := -1, 1<<30
 	for i := 0; i < MaxDirectoryCores; i++ {
-		if m&(1<<uint(i)) != 0 {
-			return i
+		if m&(1<<uint(i)) == 0 || i == requester {
+			continue
+		}
+		if dist := mesh.Dist(reqNode, mesh.CoordOf(i, meshX)); dist < bestD {
+			best, bestD = i, dist
 		}
 	}
-	return -1
+	return best
 }
 
 // Add records that core's L2 now holds the line.

@@ -79,25 +79,59 @@ func TestEvictedSentinel(t *testing.T) {
 }
 
 func TestDirectory(t *testing.T) {
+	// Requester 0 on an 8-wide mesh: cores 3 and 5 sit 3 and 5 hops away.
 	d := NewDirectory()
-	if d.Owner(100) != -1 {
+	if d.Owner(100, 0, 8) != -1 {
 		t.Error("empty directory has owner")
 	}
 	d.Add(100, 5)
 	d.Add(100, 3)
-	if d.Owner(100) != 3 {
-		t.Errorf("owner = %d, want lowest sharer 3", d.Owner(100))
+	if got := d.Owner(100, 0, 8); got != 3 {
+		t.Errorf("owner = %d, want nearest sharer 3", got)
 	}
 	d.Remove(100, 3)
-	if d.Owner(100) != 5 {
-		t.Errorf("owner after remove = %d", d.Owner(100))
+	if got := d.Owner(100, 0, 8); got != 5 {
+		t.Errorf("owner after remove = %d", got)
 	}
 	d.Remove(100, 5)
-	if d.Owner(100) != -1 || d.Entries() != 0 {
+	if d.Owner(100, 0, 8) != -1 || d.Entries() != 0 {
 		t.Error("entry not cleaned up")
 	}
 	d.Remove(200, 1) // absent: no-op
 	d.Remove(100, -1)
+}
+
+// TestDirectoryOwnerNearest is the regression test for the satellite fix:
+// Owner must pick the sharer nearest the requester by mesh hop distance,
+// not the lowest-numbered one, exclude the requester itself, and break
+// distance ties toward the lower core ID.
+func TestDirectoryOwnerNearest(t *testing.T) {
+	const meshX = 8 // 8×8 mesh, row-major core IDs
+	d := NewDirectory()
+	d.Add(100, 0)  // node (0,0)
+	d.Add(100, 63) // node (7,7)
+	// Requester 62 = (6,7): core 63 is 1 hop away, core 0 is 13 hops.
+	if got := d.Owner(100, 62, meshX); got != 63 {
+		t.Errorf("owner for requester 62 = %d, want nearest sharer 63 (not lowest-numbered 0)", got)
+	}
+	// Requester 1 = (1,0): core 0 is the near one again.
+	if got := d.Owner(100, 1, meshX); got != 0 {
+		t.Errorf("owner for requester 1 = %d, want 0", got)
+	}
+	// The requester is never its own owner, even as the only sharer.
+	d2 := NewDirectory()
+	d2.Add(200, 5)
+	if got := d2.Owner(200, 5, meshX); got != -1 {
+		t.Errorf("requester offered itself as owner: %d", got)
+	}
+	// Distance ties break toward the lower core ID: requester 9 = (1,1) is
+	// 1 hop from both 8 = (0,1) and 10 = (2,1).
+	d3 := NewDirectory()
+	d3.Add(300, 10)
+	d3.Add(300, 8)
+	if got := d3.Owner(300, 9, meshX); got != 8 {
+		t.Errorf("tie broke to %d, want lower core ID 8", got)
+	}
 }
 
 func TestDirectoryPanicsOutOfRange(t *testing.T) {

@@ -1,0 +1,112 @@
+package check
+
+import (
+	"fmt"
+
+	"offchip/internal/layout"
+	"offchip/internal/linalg"
+	"offchip/internal/mem"
+)
+
+// interleaveUnit returns the granularity at which physical addresses stripe
+// across controllers under the configuration.
+func interleaveUnit(cfg mem.Config) int64 {
+	if cfg.Interleave == layout.PageInterleave {
+		return cfg.PageBytes
+	}
+	return cfg.LineBytes
+}
+
+// AddressMap verifies that MCOf and LocalAddr form a bijection between
+// physical addresses and (controller, local address) pairs over the first
+// `units` interleaving units: the reconstruction (local/unit)·stripe +
+// mc·unit + local%unit must invert every sampled address exactly, which
+// implies no two addresses collide in a controller's local space. Three
+// offsets per unit (first, middle, last byte) catch every off-by-one the
+// div/mod arithmetic can produce.
+func AddressMap(cfg mem.Config, units int64) []Violation {
+	var vs []Violation
+	badf := func(format string, args ...any) {
+		vs = append(vs, Violation{Probe: "addr-map", Msg: fmt.Sprintf(format, args...)})
+	}
+	if cfg.NumMCs <= 0 || cfg.LineBytes <= 0 || cfg.PageBytes <= 0 {
+		badf("config not checkable: %+v", cfg)
+		return vs
+	}
+	unit := interleaveUnit(cfg)
+	stripe := unit * int64(cfg.NumMCs)
+	for u := int64(0); u < units; u++ {
+		for _, off := range [3]int64{0, unit / 2, unit - 1} {
+			paddr := u*unit + off
+			mc := mem.MCOf(paddr, cfg)
+			if mc < 0 || mc >= cfg.NumMCs {
+				badf("paddr %#x maps to controller %d of %d", paddr, mc, cfg.NumMCs)
+				continue
+			}
+			local := mem.LocalAddr(paddr, cfg)
+			if local < 0 {
+				badf("paddr %#x maps to negative local address %#x", paddr, local)
+				continue
+			}
+			if back := (local/unit)*stripe + int64(mc)*unit + local%unit; back != paddr {
+				badf("paddr %#x -> (mc%d, local %#x) inverts to %#x", paddr, mc, local, back)
+			}
+		}
+		if len(vs) >= maxRecorded {
+			break
+		}
+	}
+	return vs
+}
+
+// layoutSampleCap bounds the number of element coordinates LayoutBijective
+// walks per array; larger arrays are sampled at a uniform stride (still
+// catching systematic collisions, which repeat with the layout's period).
+const layoutSampleCap = 1 << 20
+
+// LayoutBijective verifies that a layout's address remapping is injective
+// over the array footprint and lands inside the allocation: distinct
+// element coordinates must map to distinct, element-aligned byte offsets in
+// [0, SizeBytes). This is the property that makes the rewritten references
+// of Figure 9(c) a relayout rather than a lossy projection.
+func LayoutBijective(al *layout.ArrayLayout) []Violation {
+	var vs []Violation
+	badf := func(format string, args ...any) {
+		vs = append(vs, Violation{Probe: "layout", Msg: fmt.Sprintf(format, args...)})
+	}
+	arr := al.Array
+	n := arr.NumElems()
+	if n <= 0 {
+		badf("array %s has no elements", arr.Name)
+		return vs
+	}
+	step := int64(1)
+	if n > layoutSampleCap {
+		step = (n + layoutSampleCap - 1) / layoutSampleCap
+	}
+	size := al.SizeBytes()
+	seen := make(map[int64]int64, n/step+1)
+	coord := make(linalg.Vec, arr.NumDims())
+	for lin := int64(0); lin < n; lin += step {
+		// Decode the row-major linear index into a coordinate.
+		rem := lin
+		for d := arr.NumDims() - 1; d >= 0; d-- {
+			coord[d] = rem % arr.Dims[d]
+			rem /= arr.Dims[d]
+		}
+		off := al.Offset(coord)
+		if off < 0 || off >= size {
+			badf("array %s: element %v maps to offset %d outside [0,%d)", arr.Name, coord, off, size)
+		} else if off%arr.ElemSize != 0 {
+			badf("array %s: element %v maps to misaligned offset %d", arr.Name, coord, off)
+		} else if prev, dup := seen[off]; dup {
+			badf("array %s: elements at linear %d and %d collide at offset %d", arr.Name, prev, lin, off)
+		} else {
+			seen[off] = lin
+		}
+		if len(vs) >= maxRecorded {
+			break
+		}
+	}
+	return vs
+}

@@ -1,0 +1,232 @@
+package check_test
+
+// The metamorphic validation battery: every bundled workload runs through
+// both L2 organizations and all three schemes with the full invariant
+// checker attached, and pairs of runs related by a known transformation
+// (faster DRAM, ideal NoC, optimal scheme, reseeded jitter) are compared
+// against the direction the transformation guarantees. `make validate`
+// runs this package under -race.
+
+import (
+	"testing"
+
+	"offchip/internal/check"
+	"offchip/internal/core"
+	"offchip/internal/layout"
+	"offchip/internal/mem"
+	"offchip/internal/sim"
+	"offchip/internal/workloads"
+)
+
+// batteryOptions caps traces so the full sweep stays fast while still
+// exercising every pipeline stage.
+func batteryOptions() core.Options {
+	return core.Options{MaxAccessesPerThread: 120}
+}
+
+// checkedRun executes one simulation with a fresh Checker attached and
+// fails the test on any probe violation.
+func checkedRun(t *testing.T, cfg sim.Config, w *sim.Workload, tag string) *sim.Result {
+	t.Helper()
+	ck := check.New()
+	cfg.Check = ck
+	r, err := sim.Run(cfg, w)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	for _, v := range ck.Violations() {
+		t.Errorf("%s: %s", tag, v)
+	}
+	if n := ck.Count(); n > int64(len(ck.Violations())) {
+		t.Errorf("%s: %d further violations past the recording cap", tag, n)
+	}
+	return r
+}
+
+// TestValidateAllWorkloads is the core of `make validate`: every bundled
+// application, through private and shared L2s, under the baseline, the
+// optimized layouts, and the Section 2 optimal scheme — all with every
+// runtime probe live.
+func TestValidateAllWorkloads(t *testing.T) {
+	for _, app := range workloads.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+				m := layout.Default8x8()
+				m.L2 = l2
+				cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := batteryOptions()
+				base, optim, _, err := core.Workloads(app, m, cm, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.SimConfig(m, cm, opt)
+				checkedRun(t, cfg, base, app.Name+"/base")
+				checkedRun(t, cfg, optim, app.Name+"/optim")
+				optCfg := cfg
+				optCfg.OptimalOffchip = true
+				checkedRun(t, optCfg, base, app.Name+"/optimal")
+			}
+		})
+	}
+}
+
+// batterySetup builds one app's machine, workload, and config for the
+// metamorphic pairs.
+func batterySetup(t *testing.T, appName string, l2 layout.CacheKind) (sim.Config, *sim.Workload) {
+	t.Helper()
+	app, ok := workloads.ByName(appName)
+	if !ok {
+		t.Fatalf("workload %s missing", appName)
+	}
+	m := layout.Default8x8()
+	m.L2 = l2
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := batteryOptions()
+	base, _, _, err := core.Workloads(app, m, cm, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.SimConfig(m, cm, opt), base
+}
+
+// metamorphicApps is the subset the pairwise relations sweep; the full-app
+// sweep above already runs everything once.
+var metamorphicApps = []string{"apsi", "swim", "fma3d"}
+
+// TestMetamorphicFasterDRAM: halving every DRAM access time can never make
+// a run slower — the schedule only tightens.
+func TestMetamorphicFasterDRAM(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := batterySetup(t, name, l2)
+			slow := checkedRun(t, cfg, w, name+"/dram-base")
+			fast := cfg
+			fast.DRAM.TRowHit /= 2
+			fast.DRAM.TRowMiss /= 2
+			fast.DRAM.TRowConflict /= 2
+			quick := checkedRun(t, fast, w, name+"/dram-fast")
+			if quick.ExecTime > slow.ExecTime {
+				t.Errorf("%s/%v: halved DRAM timings slowed the run: %d > %d",
+					name, l2, quick.ExecTime, slow.ExecTime)
+			}
+		}
+	}
+}
+
+// TestMetamorphicIdealNoC: removing link contention can never make a run
+// slower than the contended network.
+func TestMetamorphicIdealNoC(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := batterySetup(t, name, l2)
+			real := checkedRun(t, cfg, w, name+"/noc-real")
+			ideal := cfg
+			ideal.NoC.Contention = false
+			fast := checkedRun(t, ideal, w, name+"/noc-ideal")
+			if fast.ExecTime > real.ExecTime {
+				t.Errorf("%s/%v: ideal NoC slower than contended: %d > %d",
+					name, l2, fast.ExecTime, real.ExecTime)
+			}
+		}
+	}
+}
+
+// TestMetamorphicOptimalScheme: the Section 2 optimal scheme (every
+// off-chip access a local row hit) is a lower bound — it can never be
+// slower than any real scheme on the same trace.
+func TestMetamorphicOptimalScheme(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := batterySetup(t, name, l2)
+			real := checkedRun(t, cfg, w, name+"/real")
+			optCfg := cfg
+			optCfg.OptimalOffchip = true
+			ideal := checkedRun(t, optCfg, w, name+"/optimal")
+			if ideal.ExecTime > real.ExecTime {
+				t.Errorf("%s/%v: optimal scheme slower than real: %d > %d",
+					name, l2, ideal.ExecTime, real.ExecTime)
+			}
+		}
+	}
+}
+
+// TestMetamorphicSeedInvariance: the jitter seed perturbs timing only.
+// Conservation totals — what was injected, completed, and how outcomes
+// partition — are seed-independent, and every seed's run passes the
+// full identity check.
+func TestMetamorphicSeedInvariance(t *testing.T) {
+	cfg, w := batterySetup(t, "apsi", layout.PrivateL2)
+	var first *sim.Result
+	for _, seed := range []uint64{0, 1, 12345} {
+		c := cfg
+		c.Seed = seed
+		r := checkedRun(t, c, w, "apsi/seed")
+		for _, v := range check.VerifyTotals(r.Totals(w, &c)) {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.Total != first.Total || r.Completed != first.Completed {
+			t.Errorf("seed %d changed injection totals: %d/%d vs %d/%d",
+				seed, r.Total, r.Completed, first.Total, first.Completed)
+		}
+	}
+}
+
+// TestLayoutBijectiveAllApps runs the layout pass on every application and
+// verifies each produced array layout is a bijection over the array
+// footprint — the property that makes the rewrite a relayout, not a lossy
+// projection.
+func TestLayoutBijectiveAllApps(t *testing.T) {
+	m := layout.Default8x8()
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range workloads.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			p, store, err := app.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = store
+			res, err := layout.Optimize(p, m, cm, &layout.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for arr, al := range res.Layouts {
+				for _, v := range check.LayoutBijective(al) {
+					t.Errorf("%s/%s: %s", app.Name, arr.Name, v)
+				}
+			}
+		})
+	}
+}
+
+// TestAddressMapBothInterleaves sweeps the physical address map under both
+// hardware interleavings.
+func TestAddressMapBothInterleaves(t *testing.T) {
+	for _, gran := range []layout.Granularity{layout.LineInterleave, layout.PageInterleave} {
+		cfg := mem.Config{
+			PageBytes:  4096,
+			LineBytes:  64,
+			NumMCs:     4,
+			Interleave: gran,
+		}
+		for _, v := range check.AddressMap(cfg, 4096) {
+			t.Errorf("%v: %s", gran, v)
+		}
+	}
+}

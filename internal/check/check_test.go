@@ -1,0 +1,259 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"offchip/internal/dram"
+	"offchip/internal/mesh"
+	"offchip/internal/noc"
+)
+
+// bound returns a Checker bound to a small 4×4 machine, ready to probe.
+func bound() *Checker {
+	c := New()
+	c.Bind(Params{
+		MeshX: 4, MeshY: 4,
+		NoC:  noc.DefaultConfig(4, 4),
+		DRAM: dram.DefaultConfig(),
+	})
+	return c
+}
+
+// wantProbe asserts the checker recorded at least one violation from the
+// named probe.
+func wantProbe(t *testing.T, c *Checker, probe string) {
+	t.Helper()
+	for _, v := range c.Violations() {
+		if v.Probe == probe {
+			return
+		}
+	}
+	t.Errorf("no %q violation recorded; got %v", probe, c.Violations())
+}
+
+func TestCausalityCleanFlow(t *testing.T) {
+	c := bound()
+	id := c.StartAccess(10)
+	if id == 0 {
+		t.Fatal("probe ID 0 — zero must mean untracked")
+	}
+	c.Stage(id, StageL1, 12)
+	c.Stage(id, StageL2, 12) // equal times are legal (same-cycle handoff)
+	c.Stage(id, StageNoCReq, 20)
+	c.EndAccess(id, 25)
+	if !c.Ok() {
+		t.Errorf("clean flow flagged: %v", c.Violations())
+	}
+}
+
+func TestCausalityStageRewind(t *testing.T) {
+	c := bound()
+	id := c.StartAccess(10)
+	c.Stage(id, StageL1, 5) // precedes issue
+	wantProbe(t, c, "causality")
+}
+
+func TestCausalityDoubleRetire(t *testing.T) {
+	c := bound()
+	id := c.StartAccess(0)
+	c.EndAccess(id, 5)
+	c.EndAccess(id, 6)
+	wantProbe(t, c, "causality")
+}
+
+func TestCausalityUnknownAccess(t *testing.T) {
+	c := bound()
+	c.Stage(99, StageL1, 0)
+	wantProbe(t, c, "causality")
+}
+
+func TestCausalityInflightAtDrain(t *testing.T) {
+	c := bound()
+	c.StartAccess(0) // never retired
+	c.FinishRun(RunTotals{MaxHops: -1})
+	wantProbe(t, c, "causality")
+}
+
+func TestEngineTickRewind(t *testing.T) {
+	c := bound()
+	c.EngineTick(10)
+	c.EngineTick(10) // equal is fine
+	c.EngineTick(9)
+	wantProbe(t, c, "engine")
+}
+
+func TestTransitClean(t *testing.T) {
+	c := bound()
+	src, dst := mesh.Node{X: 0, Y: 0}, mesh.Node{X: 2, Y: 1}
+	zero := NoCZeroLoadBetween(c.p.NoC, src, dst)
+	c.Transit(src, dst, noc.OnChip, 100, 100+zero, 3)
+	if !c.Ok() {
+		t.Errorf("clean transit flagged: %v", c.Violations())
+	}
+}
+
+func TestTransitWrongHops(t *testing.T) {
+	c := bound()
+	// Manhattan distance 0→(2,1) is 3, not 4.
+	c.Transit(mesh.Node{}, mesh.Node{X: 2, Y: 1}, noc.OnChip, 0, 100, 4)
+	wantProbe(t, c, "xy-route")
+}
+
+func TestTransitHopBound(t *testing.T) {
+	c := bound()
+	// A destination outside the 4×4 mesh: distance 10 exceeds diameter 6.
+	c.Transit(mesh.Node{}, mesh.Node{X: 5, Y: 5}, noc.OnChip, 0, 1000, 10)
+	wantProbe(t, c, "hop-bound")
+}
+
+func TestTransitBelowZeroLoad(t *testing.T) {
+	c := bound()
+	// 3 hops arriving after 1 cycle: below any per-hop cost.
+	c.Transit(mesh.Node{}, mesh.Node{X: 2, Y: 1}, noc.OnChip, 0, 1, 3)
+	wantProbe(t, c, "zero-load")
+}
+
+func TestTransitIdealMustBeExact(t *testing.T) {
+	c := New()
+	cfg := noc.DefaultConfig(4, 4)
+	cfg.Contention = false
+	c.Bind(Params{MeshX: 4, MeshY: 4, NoC: cfg, DRAM: dram.DefaultConfig()})
+	zero := NoCZeroLoad(cfg, 3)
+	// On an ideal network any latency above zero-load is also a violation.
+	c.Transit(mesh.Node{}, mesh.Node{X: 2, Y: 1}, noc.OnChip, 0, zero+1, 3)
+	wantProbe(t, c, "zero-load")
+}
+
+func TestServeClean(t *testing.T) {
+	c := bound()
+	d := c.p.DRAM
+	c.Enqueue(0, 3, 10)
+	c.Serve(0, 3, 10, 15, 15+d.TRowHit, 2)
+	if !c.Ok() {
+		t.Errorf("clean service flagged: %v", c.Violations())
+	}
+	if c.MaxBypass != 2 {
+		t.Errorf("MaxBypass = %d, want 2", c.MaxBypass)
+	}
+}
+
+func TestServeBeforeArrive(t *testing.T) {
+	c := bound()
+	c.Serve(0, 0, 20, 10, 30, 0)
+	wantProbe(t, c, "dram")
+}
+
+func TestServeBadDuration(t *testing.T) {
+	c := bound()
+	c.Serve(0, 0, 0, 0, 17, 0) // 17 matches none of hit/miss/conflict
+	wantProbe(t, c, "dram")
+}
+
+func TestServeStarvationBound(t *testing.T) {
+	c := bound()
+	limit := dram.EffectiveStarveLimit(c.p.DRAM)
+	c.Serve(0, 0, 0, 0, c.p.DRAM.TRowHit, limit) // at the bound: legal
+	if !c.Ok() {
+		t.Errorf("at-bound service flagged: %v", c.Violations())
+	}
+	c.Serve(0, 0, 0, 0, c.p.DRAM.TRowHit, limit+1)
+	wantProbe(t, c, "starvation")
+}
+
+func TestFinishRunEnqueueServeMismatch(t *testing.T) {
+	c := bound()
+	c.Enqueue(0, 0, 0)
+	c.FinishRun(RunTotals{MaxHops: -1})
+	wantProbe(t, c, "conservation")
+}
+
+func TestVerifyTotals(t *testing.T) {
+	clean := RunTotals{
+		TraceAccesses: 10, Injected: 10, Completed: 10,
+		L1Hits: 4, L2LocalHits: 3, OnChipRemote: 1, OffChip: 2,
+		NetMsgs:      [2]int64{3, 2},
+		HopCDF:       [2][]float64{{0.5, 0.8, 1}, {0, 0.5, 1}},
+		MaxHops:      2,
+		MemSubmitted: 2, MemServed: 2,
+		Events: 30,
+	}
+	if vs := VerifyTotals(clean); len(vs) != 0 {
+		t.Fatalf("clean totals flagged: %v", vs)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*RunTotals)
+		want   string
+	}{
+		{"dropped-injection", func(r *RunTotals) { r.Injected = 9; r.Completed = 9; r.L1Hits = 3 }, "injected"},
+		{"lost-completion", func(r *RunTotals) { r.Completed = 9 }, "completed"},
+		{"outcome-partition", func(r *RunTotals) { r.L1Hits = 5 }, "partition"},
+		{"dram-mismatch", func(r *RunTotals) { r.MemServed = 1 }, "DRAM requests"},
+		{"optimal-touched-controllers", func(r *RunTotals) { r.Optimal = true }, "optimal scheme submitted"},
+		{"served-vs-offchip", func(r *RunTotals) { r.MemSubmitted = 3; r.MemServed = 3 }, "off-chip accesses"},
+		{"cdf-wrong-length", func(r *RunTotals) { r.HopCDF[0] = []float64{0.5, 1} }, "entries"},
+		{"cdf-not-closed", func(r *RunTotals) { r.HopCDF[1] = []float64{0, 0.5, 0.9} }, "close at 1"},
+		{"too-few-events", func(r *RunTotals) { r.Events = 10 }, "multi-stage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tot := clean
+			tot.HopCDF = [2][]float64{
+				append([]float64(nil), clean.HopCDF[0]...),
+				append([]float64(nil), clean.HopCDF[1]...),
+			}
+			tc.mutate(&tot)
+			vs := VerifyTotals(tot)
+			if len(vs) == 0 {
+				t.Fatal("seeded breakage not detected")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no violation mentioning %q; got %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+func TestReportCapAndCount(t *testing.T) {
+	c := bound()
+	for i := 0; i < 100; i++ {
+		c.Report("test", "violation %d", i)
+	}
+	if len(c.Violations()) != maxRecorded {
+		t.Errorf("recorded %d violations, cap is %d", len(c.Violations()), maxRecorded)
+	}
+	if c.Count() != 100 {
+		t.Errorf("Count = %d, want 100", c.Count())
+	}
+	if c.Ok() {
+		t.Error("Ok with violations")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "100 violation") {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+func TestNilCheckerAccessors(t *testing.T) {
+	var c *Checker
+	if c.Violations() != nil || c.Count() != 0 || !c.Ok() || c.Err() != nil {
+		t.Error("nil checker accessors not inert")
+	}
+}
+
+func TestBindResets(t *testing.T) {
+	c := bound()
+	c.Report("test", "stale")
+	c.StartAccess(0)
+	c.EngineTick(50)
+	c.Bind(c.p)
+	if !c.Ok() || len(c.inflight) != 0 || c.lastTick != 0 || c.started != 0 {
+		t.Error("Bind did not reset probe state")
+	}
+}

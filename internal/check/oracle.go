@@ -1,0 +1,42 @@
+package check
+
+// Analytical oracles: closed-form latencies a contention-free run must
+// match exactly. They are deliberately independent derivations from the
+// model parameters — the simulator is validated against them, never the
+// other way around.
+
+import (
+	"offchip/internal/dram"
+	"offchip/internal/mesh"
+	"offchip/internal/noc"
+)
+
+// NoCZeroLoad returns the arrival latency of a message crossing `hops`
+// links of an otherwise idle network. Each hop costs the router pipeline
+// latency plus — when contention (and therefore link serialization) is
+// modeled — the serialization time of the packet on the link; an idle
+// network has no queueing, so the sum is exact, and under contention it is
+// a lower bound for every message.
+func NoCZeroLoad(cfg noc.Config, hops int) int64 {
+	per := cfg.HopLatency
+	if cfg.Contention {
+		per += cfg.LinkOccupancy
+	}
+	return int64(hops) * per
+}
+
+// NoCZeroLoadBetween is NoCZeroLoad over the XY route from src to dst.
+func NoCZeroLoadBetween(cfg noc.Config, src, dst mesh.Node) int64 {
+	return NoCZeroLoad(cfg, mesh.Dist(src, dst))
+}
+
+// DRAMSingleStream returns the total service time of n back-to-back
+// same-row requests to one bank of an idle controller: the first opens the
+// row (a row miss from the closed bank), every subsequent one is a row hit.
+// FR-FCFS on a single stream has no reordering, so the sum is exact.
+func DRAMSingleStream(cfg dram.Config, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return cfg.TRowMiss + int64(n-1)*cfg.TRowHit
+}

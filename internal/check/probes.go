@@ -1,0 +1,167 @@
+package check
+
+import (
+	"offchip/internal/mem"
+	"offchip/internal/mesh"
+	"offchip/internal/noc"
+)
+
+// Stage labels a point of the Figure 2 access flow for the causality probe.
+// An access may revisit a stage (the shared-L2 flow crosses the NoC twice),
+// so the probe enforces only that the reported times never rewind — the
+// issue ≤ L1 ≤ L2 ≤ NoC ≤ DRAM ordering each flow implies.
+type Stage int
+
+const (
+	StageIssue Stage = iota
+	StageL1
+	StageL2
+	StageNoCReq  // a request-side network transit completed
+	StageDir     // directory lookup at the controller
+	StageDRAMSub // request handed to the controller queue
+	StageDRAMDone
+	StageNoCResp // a response-side network transit completed
+)
+
+var stageNames = [...]string{
+	StageIssue:    "issue",
+	StageL1:       "L1",
+	StageL2:       "L2",
+	StageNoCReq:   "noc-req",
+	StageDir:      "dir",
+	StageDRAMSub:  "dram-submit",
+	StageDRAMDone: "dram-done",
+	StageNoCResp:  "noc-resp",
+}
+
+func (s Stage) String() string {
+	if s >= 0 && int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// StartAccess registers a new in-flight access at its issue time and
+// returns its probe ID (always ≥ 1, so a zero ID means "untracked").
+func (c *Checker) StartAccess(t int64) int64 {
+	c.nextID++
+	id := c.nextID
+	c.inflight[id] = stageRec{stage: StageIssue, t: t}
+	c.started++
+	return id
+}
+
+// Stage records that the access reached stage s at time t, and fails the
+// causality probe if t precedes the access's previous stage.
+func (c *Checker) Stage(id int64, s Stage, t int64) {
+	rec, ok := c.inflight[id]
+	if !ok {
+		c.Report("causality", "stage %v reported for unknown access %d", s, id)
+		return
+	}
+	if t < rec.t {
+		c.Report("causality", "access %d: %v at t=%d precedes %v at t=%d",
+			id, s, t, rec.stage, rec.t)
+	}
+	c.inflight[id] = stageRec{stage: s, t: t}
+}
+
+// EndAccess retires the access at time t. Every started access must be
+// ended exactly once; FinishRun flags leftovers.
+func (c *Checker) EndAccess(id int64, t int64) {
+	rec, ok := c.inflight[id]
+	if !ok {
+		c.Report("causality", "access %d retired twice (or never started)", id)
+		return
+	}
+	if t < rec.t {
+		c.Report("causality", "access %d: retire at t=%d precedes %v at t=%d",
+			id, t, rec.stage, rec.t)
+	}
+	delete(c.inflight, id)
+	c.completed++
+}
+
+// EngineTick is the engine.Sim.OnDispatch hook: dispatched event times must
+// be monotone non-decreasing, the total (time, seq) order the determinism
+// guarantees rest on.
+func (c *Checker) EngineTick(now int64) {
+	if now < c.lastTick {
+		c.Report("engine", "clock rewound: dispatched t=%d after t=%d", now, c.lastTick)
+	}
+	c.lastTick = now
+}
+
+// Transit implements noc.Probe: every message must follow a minimal XY
+// route (hops == Manhattan distance, ≤ the mesh diameter) and take at least
+// the closed-form zero-load latency — exactly that latency when contention
+// modeling is off.
+func (c *Checker) Transit(src, dst mesh.Node, class noc.Class, depart, arrive int64, hops int) {
+	if d := mesh.Dist(src, dst); hops != d {
+		c.Report("xy-route", "%v->%v took %d hops, Manhattan distance is %d", src, dst, hops, d)
+	}
+	if c.p.MeshX > 0 && hops > c.diam {
+		c.Report("hop-bound", "%v->%v took %d hops, mesh diameter is %d", src, dst, hops, c.diam)
+	}
+	lat, zero := arrive-depart, NoCZeroLoad(c.p.NoC, hops)
+	if lat < zero {
+		c.Report("zero-load", "%v->%v (%s) latency %d below zero-load bound %d",
+			src, dst, class, lat, zero)
+	}
+	if !c.p.NoC.Contention && lat != zero {
+		c.Report("zero-load", "%v->%v (%s) latency %d on ideal network, want exactly %d",
+			src, dst, class, lat, zero)
+	}
+	c.nocMsgs++
+}
+
+// Enqueue implements dram.Probe (request accepted by a controller).
+func (c *Checker) Enqueue(mc, bank int, at int64) {
+	c.dramEnq++
+}
+
+// Serve implements dram.Probe: service must start no earlier than arrival,
+// last exactly one of the three configured access times, and never follow
+// more than StarveLimit bypasses by younger row hits — the FR-FCFS
+// starvation bound the bounded-bypass scheduler enforces.
+func (c *Checker) Serve(mc, bank int, arrive, start, finish int64, bypassed int) {
+	if start < arrive {
+		c.Report("dram", "mc%d bank %d served a request %d cycles before it arrived",
+			mc, bank, arrive-start)
+	}
+	if d := finish - start; c.p.DRAM.TRowHit > 0 &&
+		d != c.p.DRAM.TRowHit && d != c.p.DRAM.TRowMiss && d != c.p.DRAM.TRowConflict {
+		c.Report("dram", "mc%d bank %d service time %d matches no configured access time", mc, bank, d)
+	}
+	if bypassed > c.starve {
+		c.Report("starvation", "mc%d bank %d request bypassed %d times, bound is %d",
+			mc, bank, bypassed, c.starve)
+	}
+	if bypassed > c.MaxBypass {
+		c.MaxBypass = bypassed
+	}
+	c.dramServed++
+}
+
+// AddrOwner verifies the simulator's controller routing for one physical
+// address against the address-map functions: mem.MCOf must agree on the
+// owning controller, mem.LocalAddr on the dense per-controller address, and
+// the (controller, local) pair must invert back to the same physical
+// address — the bijection DRAM row-locality modeling depends on.
+func (c *Checker) AddrOwner(paddr int64, mc int, local int64) {
+	cfg := c.p.Mem
+	if cfg.NumMCs <= 0 {
+		return
+	}
+	if want := mem.MCOf(paddr, cfg); mc != want {
+		c.Report("addr-map", "paddr %#x routed to mc%d, MCOf says mc%d", paddr, mc, want)
+	}
+	if want := mem.LocalAddr(paddr, cfg); local != want {
+		c.Report("addr-map", "paddr %#x submitted as local %#x, LocalAddr says %#x", paddr, local, want)
+	}
+	unit := interleaveUnit(cfg)
+	stripe := unit * int64(cfg.NumMCs)
+	if back := (local/unit)*stripe + int64(mc)*unit + local%unit; back != paddr {
+		c.Report("addr-map", "(mc%d, local %#x) inverts to paddr %#x, want %#x", mc, local, back, paddr)
+	}
+}

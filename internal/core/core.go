@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"offchip/internal/approx"
+	"offchip/internal/check"
 	"offchip/internal/ir"
 	"offchip/internal/layout"
 	"offchip/internal/noc"
@@ -51,6 +52,11 @@ type Options struct {
 	// order — the simulations share no mutable state — so this is purely a
 	// wall-clock lever for multi-core hosts.
 	Concurrent bool
+	// Check attaches a fresh invariant checker (internal/check) to each of
+	// the three runs; per-run violations land in Comparison.Checks. The
+	// probes cost a few percent of runtime, so experiments leave this off
+	// and `offchip -check` / `make validate` turn it on.
+	Check bool
 	// Observer, when set, supplies the observability sink for each of the
 	// three runs ("baseline", "optimized", "optimal") — the hook the CLI
 	// uses to attach a tracer to one run. When it returns nil (or is unset)
@@ -113,6 +119,10 @@ type Comparison struct {
 	// "optimized", "optimal") — the registries the -report dashboard and
 	// -metrics dump read from.
 	Observers map[string]*obs.Observer
+
+	// Checks holds each run's invariant violations (Options.Check only;
+	// nil slices mean the run was clean).
+	Checks map[string][]check.Violation
 
 	// Compiler statistics (Table 2).
 	PctArraysOptimized float64
@@ -232,6 +242,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 	}
 
 	observers := map[string]*obs.Observer{}
+	checkers := map[string]*check.Checker{}
 	attach := func(cfg *sim.Config, run string) {
 		var o *obs.Observer
 		if opt.Observer != nil {
@@ -240,6 +251,11 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		o = obs.OrNew(o)
 		observers[run] = o
 		cfg.Obs = o
+		if opt.Check {
+			ck := check.New()
+			checkers[run] = ck
+			cfg.Check = ck
+		}
 		if opt.OnProgress != nil {
 			cfg.ProgressEvery = opt.ProgressEvery
 			cfg.OnProgress = func(p sim.Progress) { opt.OnProgress(run, p) }
@@ -299,6 +315,14 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 	}
 	baseR, optR, idealR := jobs[0].res, jobs[1].res, jobs[2].res
 
+	var checks map[string][]check.Violation
+	if opt.Check {
+		checks = map[string][]check.Violation{}
+		for run, ck := range checkers {
+			checks[run] = ck.Violations()
+		}
+	}
+
 	return &Comparison{
 		App:                app.Name,
 		Machine:            m,
@@ -307,6 +331,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		Optimized:          distill(optR),
 		Optimal:            distill(idealR),
 		Observers:          observers,
+		Checks:             checks,
 		PctArraysOptimized: res.PctArraysOptimized(),
 		PctRefsSatisfied:   res.PctRefsSatisfied(),
 	}, nil

@@ -29,6 +29,28 @@ type Config struct {
 	TRowHit      int64 // open-row access (CAS)
 	TRowMiss     int64 // closed bank (RCD + CAS)
 	TRowConflict int64 // open different row (RP + RCD + CAS)
+
+	// StarveLimit caps FR-FCFS reordering: once the oldest pending request
+	// for a bank has been passed over this many times by younger row-buffer
+	// hits, the bank reverts to strict FCFS until it is served. Real
+	// schedulers carry such a cap for exactly this reason — an unbounded
+	// hit-first policy starves a conflicting stream forever. Zero or
+	// negative selects DefaultStarveLimit.
+	StarveLimit int
+}
+
+// DefaultStarveLimit is the bypass cap used when Config.StarveLimit is
+// unset.
+const DefaultStarveLimit = 8
+
+// EffectiveStarveLimit returns the bypass cap a controller with this
+// configuration enforces (the invariant checker asserts it at every
+// service).
+func EffectiveStarveLimit(cfg Config) int {
+	if cfg.StarveLimit <= 0 {
+		return DefaultStarveLimit
+	}
+	return cfg.StarveLimit
 }
 
 // DefaultConfig returns timing in the shape of Micron DDR3-1600 as seen
@@ -67,6 +89,18 @@ type Completion interface {
 	MemDone(finish int64)
 }
 
+// Probe observes controller activity for the invariant checker
+// (internal/check implements it); attach via the Controller.Probe field
+// before submitting requests.
+type Probe interface {
+	// Enqueue fires on every accepted request.
+	Enqueue(mc, bank int, at int64)
+	// Serve fires when a bank starts servicing a request: arrive is the
+	// enqueue time, start/finish the service interval, bypassed how many
+	// times younger row hits were served ahead of this request.
+	Serve(mc, bank int, arrive, start, finish int64, bypassed int)
+}
+
 // funcCompletion adapts a legacy callback to Completion. Func values are
 // pointer-shaped, so the conversion itself does not allocate.
 type funcCompletion func(finish int64)
@@ -77,14 +111,15 @@ func (f funcCompletion) MemDone(finish int64) { f(finish) }
 // controller and double as the engine event for their own completion
 // (engine.Handler), so steady-state service allocates nothing.
 type request struct {
-	addr   int64
-	arrive int64
-	bank   int
-	row    int64
-	finish int64
-	done   Completion
-	c      *Controller
-	next   *request // controller free-list
+	addr     int64
+	arrive   int64
+	bank     int
+	row      int64
+	finish   int64
+	bypassed int // times a younger row hit was served ahead of this request
+	done     Completion
+	c        *Controller
+	next     *request // controller free-list
 }
 
 // Handle is the bank-service completion event: deliver the finish time to
@@ -119,6 +154,13 @@ type Controller struct {
 	// tests and diagnostics.
 	OnSubmit func(addr int64)
 
+	// Probe, when set, observes every enqueue and service — the invariant
+	// checker's timing and starvation-bound hook. Nil costs one check per
+	// request.
+	Probe Probe
+
+	starve int // effective StarveLimit
+
 	// Aggregate stats, mirrored into registry counters.
 	Submitted       int64 // requests accepted (conservation: Submitted == Served at drain)
 	Served          int64 // requests completed
@@ -146,8 +188,9 @@ func New(id int, cfg Config, sim *engine.Sim, o *obs.Observer) *Controller {
 	o = obs.OrNew(o)
 	c := &Controller{
 		ID: id, cfg: cfg, sim: sim, obs: o,
-		comp:  "mc" + strconv.Itoa(id),
-		banks: make([]bank, cfg.BanksPerMC),
+		comp:   "mc" + strconv.Itoa(id),
+		banks:  make([]bank, cfg.BanksPerMC),
+		starve: EffectiveStarveLimit(cfg),
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -207,9 +250,13 @@ func (c *Controller) SubmitTo(addr int64, done Completion) {
 	now := c.sim.Now()
 	r := c.allocReq()
 	r.addr, r.arrive, r.bank, r.row, r.done = addr, now, b, row, done
+	r.bypassed = 0
 	c.Submitted++
 	c.pending = append(c.pending, r)
 	c.queueLen.Set(now, int64(len(c.pending)))
+	if c.Probe != nil {
+		c.Probe.Enqueue(c.ID, b, now)
+	}
 	if tr := c.obs.Tracer; tr.Enabled() {
 		tr.Emit(now, "dram", "enqueue", c.comp, 0,
 			"bank="+strconv.Itoa(b), "addr="+strconv.FormatInt(addr, 16))
@@ -270,27 +317,48 @@ func (c *Controller) dispatch() {
 		if tr := c.obs.Tracer; tr.Enabled() {
 			tr.Emit(now, "dram", outcome, c.comp, dur, "bank="+strconv.Itoa(bi))
 		}
+		if c.Probe != nil {
+			c.Probe.Serve(c.ID, bi, r.arrive, now, finish, r.bypassed)
+		}
 		r.finish = finish
 		c.sim.Schedule(finish, r)
 	}
 }
 
 // pick returns the index of the FR-FCFS choice for the bank, or -1: the
-// oldest row-buffer hit if any, else the oldest request for the bank.
+// oldest row-buffer hit if any, else the oldest request for the bank —
+// bounded by the starvation cap: once the oldest pending request for the
+// bank has been bypassed StarveLimit times by younger hits, the bank
+// serves strictly in arrival order until it drains.
 func (c *Controller) pick(bank int) int {
-	oldest := -1
+	oldest, hit := -1, -1
 	for i, r := range c.pending {
 		if r.bank != bank {
 			continue
 		}
-		if r.row == c.banks[bank].openRow {
-			return i // pending is in arrival order: first hit is oldest hit
-		}
 		if oldest == -1 {
 			oldest = i
 		}
+		if r.row == c.banks[bank].openRow {
+			hit = i // pending is in arrival order: first hit is oldest hit
+			break
+		}
 	}
-	return oldest
+	if hit == -1 || hit == oldest {
+		return oldest
+	}
+	// Bypass counts are non-increasing in arrival order (every bypass
+	// increments all requests older than the served hit), so the oldest
+	// request's count alone decides whether the cap is hit for this bank.
+	if c.pending[oldest].bypassed >= c.starve {
+		return oldest
+	}
+	for _, r := range c.pending[:hit] {
+		if r.bank == bank {
+			r.bypassed++
+		}
+	}
+	return hit
 }
 
 // QueueOccupancy returns the time-averaged queue length over [0, until]:

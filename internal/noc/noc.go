@@ -36,6 +36,17 @@ type Config struct {
 	// Obs supplies the metrics registry and tracer. Nil gets the network a
 	// private registry, so standalone use stays fully observable.
 	Obs *obs.Observer
+	// Probe, when set, observes every completed transit — the invariant
+	// checker's routing and zero-load-latency hook (internal/check
+	// implements it). Nil costs one check per message.
+	Probe Probe
+}
+
+// Probe observes network activity for the invariant checker.
+type Probe interface {
+	// Transit fires once per message after its links are booked: depart is
+	// the send time, arrive the delivery time, hops the XY route length.
+	Transit(src, dst mesh.Node, class Class, depart, arrive int64, hops int)
 }
 
 // DefaultConfig returns the paper's Table 1 network for the given mesh.
@@ -92,7 +103,12 @@ func New(cfg Config) *Network {
 	if cfg.MeshX <= 0 || cfg.MeshY <= 0 {
 		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cfg.MeshX, cfg.MeshY))
 	}
-	maxHops := cfg.MeshX + cfg.MeshY // diameter + 1 slack
+	// The XY diameter: a minimal route crosses at most (MeshX−1)+(MeshY−1)
+	// links, so the hop histogram needs exactly diameter+1 buckets (0..diam).
+	// Sizing it larger would leave permanently-empty rows in the Figure 15
+	// CDF tables (and hide routing bugs that overshoot the diameter in the
+	// overflow bucket instead of failing the conservation check).
+	maxHops := cfg.MeshX + cfg.MeshY - 2
 	o := obs.OrNew(cfg.Obs)
 	n := &Network{
 		cfg:       cfg,
@@ -171,7 +187,13 @@ func (n *Network) Transit(now int64, src, dst mesh.Node, class Class) (arrival i
 			if tr.Enabled() {
 				tr.Emit(start, "noc", "link", n.linkName[li], n.cfg.LinkOccupancy+n.cfg.HopLatency)
 			}
-			t = start + n.cfg.HopLatency
+			// The serialization time the message holds the link is part of
+			// its own delivery time, not only a stall imposed on followers:
+			// the tail flit lands LinkOccupancy after the link grant. This
+			// makes a quiet contended network slower than the ideal one by
+			// exactly LinkOccupancy per hop (the check package's zero-load
+			// oracle pins that identity).
+			t = start + n.cfg.LinkOccupancy + n.cfg.HopLatency
 		} else {
 			if tr.Enabled() {
 				tr.Emit(t, "noc", "link", n.linkName[li], n.cfg.HopLatency)
@@ -188,6 +210,9 @@ func (n *Network) Transit(now int64, src, dst mesh.Node, class Class) (arrival i
 	n.hopCount[class].Add(int64(hops))
 	n.latCount[class].Add(t - now)
 	n.hopHist[class].Observe(int64(hops))
+	if n.cfg.Probe != nil {
+		n.cfg.Probe.Transit(src, dst, class, now, t, hops)
+	}
 	if tr.Enabled() {
 		tr.Emit(now, "noc", "msg", src.String()+"->"+dst.String(), t-now,
 			"class="+class.String(), fmt.Sprintf("hops=%d", hops))

@@ -13,11 +13,28 @@ func TestTransitLatencyUncontended(t *testing.T) {
 	if hops != 5 {
 		t.Errorf("hops = %d, want 5", hops)
 	}
-	if arr != 5*4 {
-		t.Errorf("arrival = %d, want 20 (5 hops × 4 cycles)", arr)
+	// Per hop: 1 cycle of link serialization + 4 cycles of router pipeline.
+	if arr != 5*(4+1) {
+		t.Errorf("arrival = %d, want 25 (5 hops × (4+1) cycles)", arr)
 	}
 	if n.Messages[OffChip] != 1 || n.Hops[OffChip] != 5 {
 		t.Errorf("stats: %d msgs %d hops", n.Messages[OffChip], n.Hops[OffChip])
+	}
+}
+
+// TestSerializationInArrival pins the satellite fix: the cycles a message
+// holds each link must reach its arrival time, so a zero-load contended
+// network is slower than the ideal (contention-free) one by exactly
+// LinkOccupancy per hop.
+func TestSerializationInArrival(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	src, dst := mesh.Node{X: 0, Y: 0}, mesh.Node{X: 2, Y: 1}
+	real, hops := New(cfg).Transit(100, src, dst, OnChip)
+	cfg.Contention = false
+	ideal, _ := New(cfg).Transit(100, src, dst, OnChip)
+	if want := ideal + int64(hops)*cfg.LinkOccupancy; real != want {
+		t.Errorf("contended zero-load arrival = %d, want ideal %d + %d×occupancy = %d",
+			real, ideal, hops, want)
 	}
 }
 
@@ -37,11 +54,11 @@ func TestContentionDelays(t *testing.T) {
 	// delayed by the link occupancy.
 	a1, _ := n.Transit(0, src, dst, OnChip)
 	a2, _ := n.Transit(0, src, dst, OnChip)
-	if a1 != cfg.HopLatency {
-		t.Errorf("first arrival = %d", a1)
+	if a1 != cfg.LinkOccupancy+cfg.HopLatency {
+		t.Errorf("first arrival = %d, want %d", a1, cfg.LinkOccupancy+cfg.HopLatency)
 	}
-	if a2 != cfg.LinkOccupancy+cfg.HopLatency {
-		t.Errorf("second arrival = %d, want %d", a2, cfg.LinkOccupancy+cfg.HopLatency)
+	if a2 != 2*cfg.LinkOccupancy+cfg.HopLatency {
+		t.Errorf("second arrival = %d, want %d", a2, 2*cfg.LinkOccupancy+cfg.HopLatency)
 	}
 
 	// With contention disabled, both arrive together.
@@ -93,14 +110,40 @@ func TestHopCDF(t *testing.T) {
 	}
 }
 
+// TestHopCDFLength pins the Figure 15 shape: exactly one entry per
+// reachable hop count, 0 through the XY diameter (MeshX−1)+(MeshY−1).
+func TestHopCDFLength(t *testing.T) {
+	for _, tc := range []struct{ x, y, want int }{
+		{8, 8, 15}, // diameter 14
+		{4, 4, 7},  // diameter 6
+		{4, 2, 5},  // diameter 4
+		{1, 1, 1},  // single node: only 0 hops
+	} {
+		n := New(DefaultConfig(tc.x, tc.y))
+		for _, class := range []Class{OnChip, OffChip} {
+			if got := len(n.HopCDF(class)); got != tc.want {
+				t.Errorf("%dx%d class %v: CDF has %d entries, want %d", tc.x, tc.y, class, got, tc.want)
+			}
+		}
+		// The full corner-to-corner route must land in the last bucket, not
+		// the folded-away overflow bucket.
+		corner := mesh.Node{X: tc.x - 1, Y: tc.y - 1}
+		n.Transit(0, mesh.Node{}, corner, OffChip)
+		cdf := n.HopCDF(OffChip)
+		if cdf[len(cdf)-1] != 1 {
+			t.Errorf("%dx%d: diameter transit missing from CDF tail: %v", tc.x, tc.y, cdf)
+		}
+	}
+}
+
 func TestAvgStatsAndReset(t *testing.T) {
 	n := New(DefaultConfig(8, 8))
 	n.Transit(0, mesh.Node{}, mesh.Node{X: 2, Y: 0}, OnChip)
 	if got := n.AvgHops(OnChip); got != 2 {
 		t.Errorf("AvgHops = %v", got)
 	}
-	if got := n.AvgLatency(OnChip); got != 8 {
-		t.Errorf("AvgLatency = %v", got)
+	if got := n.AvgLatency(OnChip); got != 10 {
+		t.Errorf("AvgLatency = %v, want 10 (2 hops × (4+1))", got)
 	}
 	n.ResetStats()
 	if n.Messages[OnChip] != 0 || n.AvgHops(OnChip) != 0 {

@@ -3,61 +3,29 @@ package sim_test
 // Conservation invariant battery: every access injected into the machine
 // must be delivered — through the caches, the NoC, and the DRAM
 // controllers — with nothing dropped, duplicated, or left in flight when
-// the event queue drains. The battery runs every workload in
+// the event queue drains. The identities themselves live in
+// check.VerifyTotals (shared with the validation battery and the CLI's
+// -check mode); these tests drive them over every workload in
 // internal/workloads through both L2 organizations (and the optimal scheme
 // on one), so a lost or double-counted event anywhere in the pooled
 // event-recycling hot path fails loudly rather than skewing a figure.
-// `make conservation` runs it under -race -count=2.
+// `make validate` runs it under -race -count=2.
 
 import (
 	"testing"
 
+	"offchip/internal/check"
 	"offchip/internal/core"
 	"offchip/internal/layout"
 	"offchip/internal/sim"
 	"offchip/internal/workloads"
 )
 
-// conserved asserts the flow invariants on a drained run.
-func conserved(t *testing.T, r *sim.Result, w *sim.Workload, optimal bool) {
+// conserved asserts the generalized conservation identities on a drained run.
+func conserved(t *testing.T, r *sim.Result, w *sim.Workload, cfg *sim.Config) {
 	t.Helper()
-	total := w.TotalAccesses()
-	if r.Total != total {
-		t.Errorf("injected %d of %d trace accesses", r.Total, total)
-	}
-	if r.Completed != r.Total {
-		t.Errorf("completed %d of %d injected accesses (events lost or duplicated)", r.Completed, r.Total)
-	}
-	if got := r.L1Hits + r.L2LocalHits + r.OnChipRemote + r.OffChip; got != r.Total {
-		t.Errorf("outcomes don't partition: l1=%d l2=%d remote=%d offchip=%d sum=%d total=%d",
-			r.L1Hits, r.L2LocalHits, r.OnChipRemote, r.OffChip, got, r.Total)
-	}
-	if optimal {
-		// The optimal scheme bypasses the controllers (MemServed is the
-		// synthetic row-hit count) — nothing may reach a real queue.
-		if r.MemSubmitted != 0 {
-			t.Errorf("optimal scheme submitted %d controller requests", r.MemSubmitted)
-		}
-	} else if r.MemSubmitted != r.MemServed {
-		t.Errorf("DRAM requests: submitted %d, served %d", r.MemSubmitted, r.MemServed)
-	}
-	// Exactly one memory service per off-chip access, in both modes.
-	if r.MemServed != r.OffChip {
-		t.Errorf("served %d memory requests for %d off-chip accesses", r.MemServed, r.OffChip)
-	}
-	// Every injected NoC message was delivered: the hop CDF of a class with
-	// traffic must reach exactly 1.
-	for c := 0; c < 2; c++ {
-		if r.NetMsgs[c] == 0 {
-			continue
-		}
-		cdf := r.HopCDF[c]
-		if len(cdf) == 0 || cdf[len(cdf)-1] != 1 {
-			t.Errorf("class %d hop CDF does not close at 1: %v", c, cdf)
-		}
-	}
-	if r.Events <= r.Total {
-		t.Errorf("processed %d events for %d accesses (multi-stage flow missing)", r.Events, r.Total)
+	for _, v := range check.VerifyTotals(r.Totals(w, cfg)) {
+		t.Error(v)
 	}
 }
 
@@ -86,7 +54,7 @@ func TestConservationAllWorkloads(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%v/%s: %v", l2, name, err)
 					}
-					conserved(t, r, w, false)
+					conserved(t, r, w, &cfg)
 				}
 			}
 		})
@@ -119,7 +87,7 @@ func TestConservationOptimalScheme(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		conserved(t, r, base, true)
+		conserved(t, r, base, &cfg)
 	}
 }
 
@@ -157,7 +125,7 @@ func TestConservationHeavyContention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conserved(t, r, w, false)
+	conserved(t, r, w, &cfg)
 	if r.MemQueue <= 0 {
 		t.Error("contention workload produced no queue wait — test is not stressing the queues")
 	}
@@ -194,6 +162,6 @@ func TestConservationShortTraces(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		conserved(t, r, w, false)
+		conserved(t, r, w, &cfg)
 	}
 }

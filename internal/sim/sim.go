@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"offchip/internal/cache"
+	"offchip/internal/check"
 	"offchip/internal/dram"
 	"offchip/internal/engine"
 	"offchip/internal/layout"
@@ -97,6 +98,13 @@ type Config struct {
 	// ProgressEvery processed events (default 1<<16) with live run status.
 	OnProgress    func(Progress)
 	ProgressEvery int64
+
+	// Check attaches the cross-layer invariant checker: Run binds it to this
+	// machine, hooks it into the engine, the NoC, and the controllers, feeds
+	// it every stage of every access, and finishes it with the run's
+	// conservation totals. Nil (the default) disables every probe at the
+	// cost of one nil check per site, like the tracer.
+	Check *check.Checker
 }
 
 // Progress is a live status sample of a running simulation.
@@ -279,6 +287,7 @@ type machine struct {
 	spaces map[int]*mem.AddressSpace
 	cores  []*coreState
 	res    *Result
+	ck     *check.Checker // nil when checking is off
 
 	// Registry-backed statistics: the Figure 13 access map plus the access
 	// outcome counters; coreComp holds precomputed trace component names.
@@ -328,6 +337,7 @@ type accessEvent struct {
 	acc   Access
 	t     int64 // stage-specific captured time (e.g. the optimal scheme's finish)
 	local int64 // controller-local address
+	ckID  int64 // invariant-checker access ID (0 when checking is off)
 
 	coreNode mesh.Node
 	mcNode   mesh.Node
@@ -367,26 +377,44 @@ func (e *accessEvent) Handle(now int64) {
 		m.process(e)
 	case stComplete:
 		core, app, last := e.core, e.app, e.last
+		if ck := m.ck; ck != nil {
+			ck.EndAccess(e.ckID, now)
+		}
 		m.freeEvent(e)
 		m.complete(core, app, last)
 	case stPrivOptFinish:
 		tBack, _ := m.net.Transit(e.t, e.mcNode, e.coreNode, noc.OffChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tBack)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(tBack, e)
 	case stPrivSubmit:
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageDRAMSub, now)
+		}
 		m.mcs[e.mcID].SubmitTo(e.local, e)
 	case stSharedHomeHit:
 		// Path 5: home bank → L1.
 		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
 	case stSharedBank:
 		// Paths 2–4, issued by the home bank.
 		tReq, _ := m.net.Transit(now, e.homeNode, e.mcNode, noc.OffChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCReq, tReq)
+		}
 		if m.cfg.OptimalOffchip {
 			finish := tReq + m.cfg.DRAM.TRowHit
 			m.res.MemLatency += m.cfg.DRAM.TRowHit
 			m.res.MemServed++
+			if ck := m.ck; ck != nil {
+				ck.Stage(e.ckID, check.StageDRAMDone, finish)
+			}
 			e.stage, e.t = stSharedOptServe, finish
 			m.sim.Schedule(finish, e)
 			return
@@ -394,14 +422,23 @@ func (e *accessEvent) Handle(now int64) {
 		e.stage = stSharedSubmit
 		m.sim.Schedule(tReq, e)
 	case stSharedSubmit:
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageDRAMSub, now)
+		}
 		m.mcs[e.mcID].SubmitTo(e.local, e)
 	case stSharedOptServe:
 		tFill, _ := m.net.Transit(e.t, e.mcNode, e.homeNode, noc.OffChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tFill)
+		}
 		e.stage = stSharedFill
 		m.sim.Schedule(tFill, e)
 	case stSharedFill:
 		// Path 5: home bank → L1.
 		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
 	default:
@@ -414,13 +451,22 @@ func (e *accessEvent) Handle(now int64) {
 // still holds the submit stage that handed the event to the controller.
 func (e *accessEvent) MemDone(finish int64) {
 	m := e.m
+	if ck := m.ck; ck != nil {
+		ck.Stage(e.ckID, check.StageDRAMDone, finish)
+	}
 	switch e.stage {
 	case stPrivSubmit:
 		tBack, _ := m.net.Transit(finish, e.mcNode, e.coreNode, noc.OffChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tBack)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(tBack, e)
 	case stSharedSubmit:
 		tFill, _ := m.net.Transit(finish, e.mcNode, e.homeNode, noc.OffChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCResp, tFill)
+		}
 		e.stage = stSharedFill
 		m.sim.Schedule(tFill, e)
 	default:
@@ -450,19 +496,44 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	}
 
 	o := obs.OrNew(cfg.Obs)
+	memCfg := mem.Config{
+		PageBytes:  cfg.Machine.PageBytes,
+		LineBytes:  cfg.Machine.LineUnit(),
+		NumMCs:     cfg.Machine.NumMCs,
+		Interleave: cfg.Machine.Interleave,
+	}
 	nocCfg := cfg.NoC
 	nocCfg.Obs = o
+	if cfg.Check != nil {
+		p := check.Params{
+			MeshX: cfg.Machine.MeshX, MeshY: cfg.Machine.MeshY,
+			NoC: nocCfg, DRAM: cfg.DRAM, Mem: memCfg,
+			Optimal: cfg.OptimalOffchip,
+		}
+		if cfg.Obs == nil {
+			// Only a private registry is guaranteed to describe this run
+			// alone, which the end-of-run registry cross-check requires.
+			p.Obs = o
+		}
+		cfg.Check.Bind(p)
+		nocCfg.Probe = cfg.Check
+	}
 	m := &machine{
 		cfg:    cfg,
+		memCfg: memCfg,
 		sim:    &engine.Sim{},
 		obs:    o,
 		net:    noc.New(nocCfg),
 		dir:    cache.NewDirectory(),
 		spaces: map[int]*mem.AddressSpace{},
+		ck:     cfg.Check,
 		res: &Result{
 			AppExecTime: map[int]int64{},
 			AccessMap:   make([][]int64, cores),
 		},
+	}
+	if cfg.Check != nil {
+		m.sim.OnDispatch = cfg.Check.EngineTick
 	}
 	if cfg.Seed != 0 {
 		// SplitMix64 finalizer: spread the seed bits before XOR-ing into
@@ -486,7 +557,11 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		}
 	}
 	for i := 0; i < cfg.Machine.NumMCs; i++ {
-		m.mcs = append(m.mcs, dram.New(i, cfg.DRAM, m.sim, o))
+		mc := dram.New(i, cfg.DRAM, m.sim, o)
+		if cfg.Check != nil {
+			mc.Probe = cfg.Check
+		}
+		m.mcs = append(m.mcs, mc)
 	}
 	if cfg.DebugMC0 != nil {
 		m.mcs[0].OnSubmit = cfg.DebugMC0
@@ -512,13 +587,6 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		}
 	}
 
-	m.memCfg = mem.Config{
-		PageBytes:  cfg.Machine.PageBytes,
-		LineBytes:  cfg.Machine.LineUnit(),
-		NumMCs:     cfg.Machine.NumMCs,
-		Interleave: cfg.Machine.Interleave,
-	}
-	memCfg := m.memCfg
 	appBase := int64(0)
 	for _, s := range w.Streams {
 		if _, ok := m.spaces[s.AppID]; !ok {
@@ -548,7 +616,32 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	m.sim.Run()
 
 	m.finishStats(w)
+	if cfg.Check != nil {
+		cfg.Check.FinishRun(m.res.Totals(w, &cfg))
+	}
 	return m.res, nil
+}
+
+// Totals summarizes a drained run for check.VerifyTotals — the generalized
+// conservation identities shared by the conservation tests, the validation
+// battery, and the CLI's -check mode.
+func (r *Result) Totals(w *Workload, cfg *Config) check.RunTotals {
+	return check.RunTotals{
+		TraceAccesses: w.TotalAccesses(),
+		Injected:      r.Total,
+		Completed:     r.Completed,
+		L1Hits:        r.L1Hits,
+		L2LocalHits:   r.L2LocalHits,
+		OnChipRemote:  r.OnChipRemote,
+		OffChip:       r.OffChip,
+		NetMsgs:       r.NetMsgs,
+		HopCDF:        r.HopCDF,
+		MaxHops:       cfg.Machine.MeshX + cfg.Machine.MeshY - 2,
+		MemSubmitted:  r.MemSubmitted,
+		MemServed:     r.MemServed,
+		Events:        r.Events,
+		Optimal:       cfg.OptimalOffchip,
+	}
 }
 
 // preTouch walks the workload phase by phase (streams in declaration order
@@ -692,10 +785,16 @@ func (m *machine) complete(core, app int, last bool) {
 func (m *machine) process(e *accessEvent) {
 	m.res.Total++
 	m.totalC.Inc()
+	if ck := m.ck; ck != nil {
+		e.ckID = ck.StartAccess(m.sim.Now())
+	}
 	paddr := m.spaces[e.app].Translate(e.acc.VAddr, e.core, int(e.acc.DesiredMC))
 
 	// L1.
 	if hit, _ := m.l1s[e.core].Access(paddr); hit {
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageL1, m.sim.Now()+m.cfg.L1Latency)
+		}
 		e.stage = stComplete
 		m.sim.ScheduleAfter(m.cfg.L1Latency, e)
 		return
@@ -712,10 +811,16 @@ func (m *machine) process(e *accessEvent) {
 func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 	core, app := e.core, e.app
 	t0 := m.sim.Now() + m.cfg.L1Latency
+	if ck := m.ck; ck != nil {
+		ck.Stage(e.ckID, check.StageL1, t0)
+	}
 	line := m.l2s[core].LineAddr(paddr)
 	if hit, evicted := m.l2s[core].Access(paddr); hit {
 		m.res.L2LocalHits++
 		m.l2LocalC.Inc()
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageL2, t0+m.cfg.L2Latency)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(t0+m.cfg.L2Latency, e)
 		return
@@ -725,6 +830,9 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 	m.dir.Add(line, core) // the fill just performed by Access
 
 	t1 := t0 + m.cfg.L2Latency
+	if ck := m.ck; ck != nil {
+		ck.Stage(e.ckID, check.StageL2, t1)
+	}
 	mcID := m.spaces[app].MCOf(paddr)
 	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
 	coreNode := mesh.CoordOf(core, m.cfg.Machine.MeshX)
@@ -743,6 +851,11 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 		tFwd, _ := m.net.Transit(tDir, mcNode, ownerNode, noc.OnChip)
 		tOwn := tFwd + m.cfg.L2Latency
 		tData, _ := m.net.Transit(tOwn, ownerNode, coreNode, noc.OnChip)
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCReq, tArr)
+			ck.Stage(e.ckID, check.StageDir, tDir)
+			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
 		return
@@ -761,6 +874,10 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 		finish := tArr + m.cfg.DirLatency + m.cfg.DRAM.TRowHit
 		m.res.MemLatency += m.cfg.DRAM.TRowHit
 		m.res.MemServed++
+		if ck := m.ck; ck != nil {
+			ck.Stage(e.ckID, check.StageNoCReq, tArr)
+			ck.Stage(e.ckID, check.StageDRAMDone, finish)
+		}
 		e.stage, e.t, e.mcNode = stPrivOptFinish, finish, nearNode
 		m.sim.Schedule(finish, e)
 		return
@@ -770,32 +887,28 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 	tDir := tArr + m.cfg.DirLatency
 	e.stage, e.mcID, e.mcNode = stPrivSubmit, mcID, mcNode
 	e.local = mem.LocalAddr(paddr, m.memCfg)
+	if ck := m.ck; ck != nil {
+		ck.Stage(e.ckID, check.StageNoCReq, tArr)
+		ck.Stage(e.ckID, check.StageDir, tDir)
+		ck.AddrOwner(paddr, mcID, e.local)
+	}
 	m.sim.Schedule(tDir, e)
 }
 
 // ownerOf returns the core (≠ requester) nearest to the requester whose L2
-// still holds the line, or -1. Picking the nearest sharer models a
-// distance-aware directory and avoids turning the lowest-numbered sharer
-// into a forwarding hotspot for widely shared lines.
+// holds the line, or -1. It delegates to the directory's distance-aware
+// Owner; when the checker is attached, it also verifies that the chosen
+// core's L2 really holds the line — the directory must never go stale,
+// since every eviction removes its sharer bit.
 func (m *machine) ownerOf(line int64, requester int) int {
-	sharers := m.dir.Sharers(line)
-	if sharers == 0 {
-		return -1
-	}
-	reqNode := mesh.CoordOf(requester, m.cfg.Machine.MeshX)
-	best, bestD := -1, 1<<30
-	for c := 0; c < m.cfg.Machine.Cores(); c++ {
-		if c == requester || sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		if !m.l2s[c].Contains(line) {
-			continue
-		}
-		if d := mesh.Dist(reqNode, mesh.CoordOf(c, m.cfg.Machine.MeshX)); d < bestD {
-			best, bestD = c, d
+	owner := m.dir.Owner(line, requester, m.cfg.Machine.MeshX)
+	if owner >= 0 {
+		if ck := m.ck; ck != nil && !m.l2s[owner].Contains(line) {
+			ck.Report("directory", "core %d recorded as sharer of line %#x but its L2 does not hold it",
+				owner, line)
 		}
 	}
-	return best
+	return owner
 }
 
 // processShared follows Figure 2b: the home L2 bank, then the controller.
@@ -813,6 +926,11 @@ func (m *machine) processShared(e *accessEvent, paddr int64) {
 	// Path 1: L1 → home bank.
 	tArr, _ := m.net.Transit(t0, coreNode, homeNode, noc.OnChip)
 	tBank := tArr + m.cfg.L2Latency
+	if ck := m.ck; ck != nil {
+		ck.Stage(e.ckID, check.StageL1, t0)
+		ck.Stage(e.ckID, check.StageNoCReq, tArr)
+		ck.Stage(e.ckID, check.StageL2, tBank)
+	}
 	if hit, _ := m.l2s[home].Access(paddr); hit {
 		m.res.L2LocalHits++
 		m.l2LocalC.Inc()
@@ -832,6 +950,11 @@ func (m *machine) processShared(e *accessEvent, paddr int64) {
 	m.accessMap[home][mcID].Inc()
 	e.stage, e.mcID, e.mcNode = stSharedBank, mcID, mcNode
 	e.local = mem.LocalAddr(paddr, m.memCfg)
+	if ck := m.ck; ck != nil && !m.cfg.OptimalOffchip {
+		// The optimal scheme routes to the nearest MC, not the owner, so
+		// the address-map agreement probe only applies to real runs.
+		ck.AddrOwner(paddr, mcID, e.local)
+	}
 	m.sim.Schedule(tBank, e)
 }
 
