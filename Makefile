@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke fuzz-smoke bench bench-engine clean
+.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke profile-smoke fuzz-smoke bench bench-engine clean
 
 ## check: everything CI enforces — vet, formatting, build, tests under -race,
 ## the sequential-vs-parallel determinism gate, the invariant/metamorphic
-## validation battery, and the engine allocation gate.
-check: vet fmt build test-race determinism validate bench-smoke
+## validation battery, the engine allocation gate, and the profiler
+## conservation gate.
+check: vet fmt build test-race determinism validate bench-smoke profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +55,14 @@ conservation:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='SteadyStateDispatch|ScheduleOnly' -benchtime=100x -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchgate -bench 'SteadyStateDispatchTyped$$|ScheduleOnly$$' -max-allocs 0
+
+## profile-smoke: the latency-attribution conservation gate — a small
+## three-way comparison with the profiler attached must attribute every
+## access's latency exactly (components sum to the probe-observed end-to-end
+## latency, no violations) and the live plane's Prometheus exposition must
+## re-parse. -count=1 defeats caching so the simulation actually runs.
+profile-smoke:
+	$(GO) test -run TestProfileSmoke -count=1 ./internal/prof
 
 ## fuzz-smoke: a short fuzz of every Fuzz target (also run nightly in CI).
 FUZZTIME ?= 30s

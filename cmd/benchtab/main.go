@@ -14,6 +14,13 @@
 //	benchtab -replay '<job-id>'              # re-run one job, bit-exact
 //	benchtab -bench-runner BENCH_runner.json # record 1-vs-N wall clocks
 //
+// Sweep observability (see EXPERIMENTS.md "Profiling a sweep"):
+//
+//	benchtab -sweep -prof                    # sweep-wide latency attribution
+//	benchtab -sweep -serve :9090             # live /metrics, /progress, /profile
+//	benchtab -sweep -sweep-out s.jsonl       # merged registry dump + manifest
+//	benchtab -replay '<job-id>' -prof        # attribution of one replayed job
+//
 // Each experiment prints a fixed-width table whose rows correspond to the
 // bars/series of the paper's figure; see DESIGN.md for the per-experiment
 // index and EXPERIMENTS.md for paper-vs-measured commentary.
@@ -25,12 +32,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"offchip/internal/core"
 	"offchip/internal/experiments"
 	"offchip/internal/layout"
+	"offchip/internal/obs"
+	"offchip/internal/prof"
 	"offchip/internal/runner"
 	"offchip/internal/sim"
 	"offchip/internal/workloads"
@@ -49,9 +61,12 @@ func main() {
 	progress := flag.Bool("progress", false, "print one line per finished job")
 	benchRunner := flag.String("bench-runner", "", "measure the sweep at 1 and -parallel workers; write wall clocks to this JSON file")
 	benchEngine := flag.String("bench-engine", "", "time the full experiment suite and a representative simulation against the pre-overhaul engine baseline; write the record to this JSON file")
+	profFlag := flag.Bool("prof", false, "attach the latency-attribution profiler to every job and print the sweep-wide differential attribution")
+	serveAddr := flag.String("serve", "", "serve the live sweep observability plane (/metrics, /progress, /profile) on this address")
+	sweepOut := flag.String("sweep-out", "", "write the sweep's merged registry as JSONL, plus a .manifest.json provenance record")
 	flag.Parse()
 
-	cfg := experiments.Config{Parallel: *parallel, Seed: *seed}
+	cfg := experiments.Config{Parallel: *parallel, Seed: *seed, Prof: *profFlag}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}
@@ -71,7 +86,7 @@ func main() {
 
 	switch {
 	case *replay != "":
-		if err := replayJob(*replay); err != nil {
+		if err := replayJob(*replay, *profFlag); err != nil {
 			fail(err)
 		}
 		return
@@ -95,15 +110,9 @@ func main() {
 		}
 		return
 	case *sweep:
-		start := time.Now()
-		res, err := experiments.RunSweep(cfg)
-		if err != nil {
+		if err := runSweep(cfg, *serveAddr, *sweepOut, *profFlag, *seed); err != nil {
 			fail(err)
 		}
-		fmt.Println(res.Table())
-		fmt.Printf("[sweep: %d jobs, %d workers, %d steals, %.1fs]\n",
-			len(res.Specs), res.Result.Workers, res.Result.Steals, res.Result.Wall.Seconds())
-		fmt.Printf("[total %.1fs; replay any job with -replay '<id>' from -jobs]\n", time.Since(start).Seconds())
 		return
 	}
 
@@ -137,13 +146,163 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// replayJob re-executes one job from its ID and prints the canonical
-// (deterministic) outcome — the same bytes the differential tests compare,
-// so two replays of the same ID always print identical output.
-func replayJob(id string) error {
-	out, err := runner.Replay(id)
+// runSweep runs the example sweep with the sweep-level observability
+// attached: the live HTTP plane (when -serve), the merged-registry dump and
+// provenance manifest (when -sweep-out), and the sweep-wide differential
+// attribution (when -prof).
+func runSweep(cfg experiments.Config, serveAddr, sweepOut string, withProf bool, seed uint64) error {
+	specs, err := cfg.ExampleSweep()
 	if err != nil {
 		return err
+	}
+	manifest := prof.NewManifest()
+	manifest.Seed = seed
+	manifest.Config = map[string]string{
+		"apps":     strings.Join(cfg.Apps, ","),
+		"cap":      strconv.Itoa(cfg.MaxAccessesPerThread),
+		"parallel": strconv.Itoa(cfg.Parallel),
+		"prof":     strconv.FormatBool(withProf),
+	}
+	for _, s := range specs {
+		manifest.Jobs = append(manifest.Jobs, s.ID())
+	}
+
+	// The live plane folds each job's registries and profiles in as the job
+	// completes (OnJob calls are serialized by the runner). The registry is
+	// safe for concurrent snapshot; profiles are copied out under the mutex.
+	var (
+		liveMu    sync.Mutex
+		liveReg   = obs.NewRegistry()
+		liveProfs = map[string]*prof.Profile{}
+		liveDone  int
+		liveFail  int
+	)
+	if serveAddr != "" {
+		prev := cfg.OnJob
+		cfg.OnJob = func(ev runner.JobEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			liveMu.Lock()
+			defer liveMu.Unlock()
+			liveDone = ev.Done
+			if ev.Err != nil {
+				liveFail++
+			}
+			o := ev.Outcome
+			if o == nil || o.Err != nil {
+				return
+			}
+			runs := make([]string, 0, len(o.Observers))
+			for run := range o.Observers {
+				runs = append(runs, run)
+			}
+			sort.Strings(runs)
+			for _, run := range runs {
+				if ob := o.Observers[run]; ob != nil && ob.Reg != nil {
+					liveReg.MergeScoped(ob.Reg, o.ExecTimes[run], "job="+o.ShortID, "run="+run)
+				}
+			}
+			for run, p := range o.Profiles {
+				if liveProfs[run] == nil {
+					liveProfs[run] = &prof.Profile{}
+				}
+				liveProfs[run].Add(p)
+			}
+		}
+		srv, err := prof.NewServer(prof.ServerConfig{
+			Addr: serveAddr,
+			Registries: func() map[string]*obs.Registry {
+				return map[string]*obs.Registry{"sweep": liveReg}
+			},
+			Profiles: func() map[string]*prof.Profile {
+				liveMu.Lock()
+				defer liveMu.Unlock()
+				out := make(map[string]*prof.Profile, len(liveProfs))
+				for run, p := range liveProfs {
+					c := &prof.Profile{}
+					c.Add(p) // deep copy: the live aggregate keeps mutating
+					out[run] = c
+				}
+				return out
+			},
+			Progress: func() prof.Progress {
+				liveMu.Lock()
+				defer liveMu.Unlock()
+				inflight := len(specs) - liveDone
+				if w := cfg.Parallel; w >= 1 && inflight > w {
+					inflight = w
+				}
+				return prof.Progress{
+					TotalJobs: len(specs), DoneJobs: liveDone,
+					InFlight: inflight, Failed: liveFail,
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchtab: observability plane on http://%s\n", srv.Addr())
+	}
+
+	start := time.Now()
+	res, err := experiments.RunSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	fmt.Printf("[sweep: %d jobs, %d workers, %d steals, %.1fs]\n",
+		len(res.Specs), res.Result.Workers, res.Result.Steals, res.Result.Wall.Seconds())
+	fmt.Printf("[total %.1fs; replay any job with -replay '<id>' from -jobs]\n", time.Since(start).Seconds())
+
+	if withProf {
+		profs := res.Profiles()
+		fmt.Println()
+		fmt.Println(prof.DiffTable("sweep latency attribution (cycles/access, baseline vs optimized, all jobs)",
+			profs["baseline"], profs["optimized"]).String())
+		fmt.Println(prof.QuantileTable("sweep optimized-run stage latency quantiles (cycles)",
+			profs["optimized"]).String())
+		if p := profs["optimized"]; p != nil {
+			manifest.StageTotals = p.StageTotals()
+		}
+	}
+	if sweepOut != "" {
+		f, err := os.Create(sweepOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, res.Merged.Snapshot(0)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := manifest.Write(prof.ManifestPath(sweepOut)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote merged sweep registry to %s (manifest %s)\n",
+			sweepOut, prof.ManifestPath(sweepOut))
+	}
+	return nil
+}
+
+// replayJob re-executes one job from its ID and prints the canonical
+// (deterministic) outcome — the same bytes the differential tests compare,
+// so two replays of the same ID always print identical output. With -prof it
+// also prints the job's latency attribution (the profiler observes without
+// changing the job's identity or results).
+func replayJob(id string, withProf bool) error {
+	spec, err := runner.ParseJobID(id)
+	if err != nil {
+		return err
+	}
+	spec.Prof = withProf
+	out := spec.Execute()
+	if out.Err != nil {
+		return out.Err
 	}
 	raw, err := out.CanonicalJSON()
 	if err != nil {
@@ -155,7 +314,24 @@ func replayJob(id string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(pretty)
+	if err := enc.Encode(pretty); err != nil {
+		return err
+	}
+	if withProf {
+		if base, opt := out.Profiles["baseline"], out.Profiles["optimized"]; base != nil && opt != nil {
+			fmt.Println(prof.DiffTable("latency attribution (cycles/access, baseline vs optimized)", base, opt).String())
+		} else {
+			runs := make([]string, 0, len(out.Profiles))
+			for run := range out.Profiles {
+				runs = append(runs, run)
+			}
+			sort.Strings(runs)
+			for _, run := range runs {
+				fmt.Println(prof.AttributionTable("latency attribution: "+run, out.Profiles[run]).String())
+			}
+		}
+	}
+	return nil
 }
 
 // benchRunnerRun times the example sweep at 1 worker and at `workers`

@@ -18,6 +18,10 @@
 //	offchip -app apsi -metrics m.jsonl     # metrics registry dump, all runs
 //	offchip -app apsi -report              # post-run text dashboard
 //	offchip -app apsi -pprof :6060         # serve net/http/pprof while running
+//	offchip -app apsi -prof                # cycle-level latency attribution tables
+//	offchip -app apsi -prof-folded p.txt   # folded stacks for flamegraph.pl
+//	offchip -app apsi -prof-pprof p.pb.gz  # attribution as pprof protobuf
+//	offchip -app apsi -serve :9090         # live /metrics, /progress, /profile
 //
 // Parallelism and replay (see EXPERIMENTS.md "Parallel sweeps"):
 //
@@ -29,9 +33,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,6 +46,7 @@ import (
 	"offchip/internal/ir"
 	"offchip/internal/layout"
 	"offchip/internal/obs"
+	"offchip/internal/prof"
 	"offchip/internal/runner"
 	"offchip/internal/sim"
 	"offchip/internal/stats"
@@ -67,6 +74,10 @@ func run() error {
 	progress := flag.Bool("progress", false, "print a live one-line status during simulation")
 	report := flag.Bool("report", false, "print the post-run observability dashboard")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	profFlag := flag.Bool("prof", false, "attach the latency-attribution profiler and print per-stage attribution tables")
+	profFolded := flag.String("prof-folded", "", "write the optimized run's attribution as folded stacks (flamegraph.pl); implies -prof")
+	profPprof := flag.String("prof-pprof", "", "write the optimized run's attribution as a gzipped pprof protobuf (go tool pprof); implies -prof")
+	serveAddr := flag.String("serve", "", "serve the live observability plane (/metrics, /progress, /profile) on this address")
 	parallel := flag.Bool("parallel", false, "run the baseline/optimized/optimal simulations concurrently (identical results)")
 	checkRun := flag.Bool("check", false, "attach the invariant checker to every run and fail on any violation")
 	seed := flag.Uint64("seed", 0, "jitter seed; 0 keeps the historical stream of the recorded figures")
@@ -78,11 +89,20 @@ func run() error {
 	}
 
 	if *pprofAddr != "" {
+		// Bind before the run so a bad address fails fast instead of racing
+		// ListenAndServe in a goroutine; close cleanly on exit.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "offchip: pprof:", err)
 			}
 		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "offchip: pprof serving on %s\n", ln.Addr())
 	}
 
 	m := layout.Default8x8()
@@ -179,7 +199,8 @@ func run() error {
 		bench = &workloads.App{Name: prog.Name, Source: string(mustRead(*src)), Demand: layout.DefaultDemand()}
 	}
 
-	opt := core.Options{Concurrent: *parallel, Seed: *seed, Check: *checkRun}
+	wantProf := *profFlag || *profFolded != "" || *profPprof != ""
+	opt := core.Options{Concurrent: *parallel, Seed: *seed, Check: *checkRun, Prof: wantProf}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -197,6 +218,63 @@ func run() error {
 	}
 	if *progress {
 		opt.OnProgress = liveProgress()
+	}
+
+	// The live observability plane binds before the runs start and watches
+	// the registries as the simulations fill them; the attribution snapshot
+	// appears on /profile once the runs retire.
+	var (
+		liveMu    sync.Mutex
+		liveRegs  = map[string]*obs.Registry{}
+		liveProfs = map[string]*prof.Profile{}
+	)
+	if *serveAddr != "" {
+		prev := opt.Observer
+		opt.Observer = func(run string) *obs.Observer {
+			var o *obs.Observer
+			if prev != nil {
+				o = prev(run)
+			}
+			o = obs.OrNew(o)
+			liveMu.Lock()
+			liveRegs[run] = o.Reg
+			liveMu.Unlock()
+			return o
+		}
+		srv, err := prof.NewServer(prof.ServerConfig{
+			Addr: *serveAddr,
+			Registries: func() map[string]*obs.Registry {
+				liveMu.Lock()
+				defer liveMu.Unlock()
+				out := make(map[string]*obs.Registry, len(liveRegs))
+				for k, v := range liveRegs {
+					out[k] = v
+				}
+				return out
+			},
+			Profiles: func() map[string]*prof.Profile {
+				liveMu.Lock()
+				defer liveMu.Unlock()
+				out := make(map[string]*prof.Profile, len(liveProfs))
+				for k, v := range liveProfs {
+					out[k] = v
+				}
+				return out
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "offchip: observability plane on http://%s\n", srv.Addr())
+	}
+
+	manifest := prof.NewManifest()
+	manifest.Seed = *seed
+	manifest.Config = map[string]string{
+		"app": bench.Name, "l2": *l2, "mapping": *mapping, "interleave": *interleave,
+		"check": strconv.FormatBool(*checkRun), "prof": strconv.FormatBool(wantProf),
 	}
 
 	c, err := core.Compare(bench, m, cm, opt)
@@ -242,14 +320,69 @@ func run() error {
 	t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
 	fmt.Println(t.String())
 
+	if wantProf {
+		liveMu.Lock()
+		for run, p := range c.Profiles {
+			liveProfs[run] = p
+		}
+		liveMu.Unlock()
+		if err := printProfiles(c, *profFolded, *profPprof); err != nil {
+			return err
+		}
+		if p := c.Profiles["optimized"]; p != nil {
+			manifest.StageTotals = p.StageTotals()
+		}
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, c); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "offchip: wrote metrics to %s\n", *metricsOut)
+		if err := manifest.Write(prof.ManifestPath(*metricsOut)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "offchip: wrote metrics to %s (manifest %s)\n",
+			*metricsOut, prof.ManifestPath(*metricsOut))
 	}
 	if *report {
 		printDashboard(c, m)
+	}
+	return nil
+}
+
+// printProfiles renders the latency-attribution view of a finished
+// comparison: the baseline-vs-optimized differential table (every component's
+// per-access delta, summing to the end-to-end delta), per-stage quantiles of
+// the optimized run, and the optional flamegraph exports.
+func printProfiles(c *core.Comparison, foldedOut, pprofOut string) error {
+	base, opt := c.Profiles["baseline"], c.Profiles["optimized"]
+	for _, run := range []string{"baseline", "optimized", "optimal"} {
+		if p := c.Profiles[run]; p != nil && len(p.Violations) > 0 {
+			for _, v := range p.Violations {
+				fmt.Fprintf(os.Stderr, "offchip: prof %-9s VIOLATION %s\n", run, v)
+			}
+		}
+	}
+	fmt.Println(prof.DiffTable("latency attribution (cycles/access, baseline vs optimized)", base, opt).String())
+	fmt.Println(prof.QuantileTable("optimized run stage latency quantiles (cycles)", opt).String())
+	if foldedOut != "" && opt != nil {
+		if err := os.WriteFile(foldedOut, []byte(opt.FoldedStacks(c.App)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "offchip: wrote folded stacks to %s\n", foldedOut)
+	}
+	if pprofOut != "" && opt != nil {
+		f, err := os.Create(pprofOut)
+		if err != nil {
+			return err
+		}
+		if err := opt.WritePprof(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "offchip: wrote pprof profile to %s (go tool pprof %s)\n", pprofOut, pprofOut)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"offchip/internal/layout"
 	"offchip/internal/noc"
 	"offchip/internal/obs"
+	"offchip/internal/prof"
 	"offchip/internal/sim"
 	"offchip/internal/trace"
 	"offchip/internal/workloads"
@@ -57,6 +58,11 @@ type Options struct {
 	// probes cost a few percent of runtime, so experiments leave this off
 	// and `offchip -check` / `make validate` turn it on.
 	Check bool
+	// Prof attaches a fresh latency-attribution profiler (internal/prof)
+	// to each of the three runs; per-run profiles land in
+	// Comparison.Profiles. Like Check, it rides the probe surfaces and is
+	// off by default.
+	Prof bool
 	// Observer, when set, supplies the observability sink for each of the
 	// three runs ("baseline", "optimized", "optimal") — the hook the CLI
 	// uses to attach a tracer to one run. When it returns nil (or is unset)
@@ -123,6 +129,9 @@ type Comparison struct {
 	// Checks holds each run's invariant violations (Options.Check only;
 	// nil slices mean the run was clean).
 	Checks map[string][]check.Violation
+
+	// Profiles holds each run's latency attribution (Options.Prof only).
+	Profiles map[string]*prof.Profile
 
 	// Compiler statistics (Table 2).
 	PctArraysOptimized float64
@@ -243,6 +252,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 
 	observers := map[string]*obs.Observer{}
 	checkers := map[string]*check.Checker{}
+	profilers := map[string]*prof.Profiler{}
 	attach := func(cfg *sim.Config, run string) {
 		var o *obs.Observer
 		if opt.Observer != nil {
@@ -255,6 +265,11 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 			ck := check.New()
 			checkers[run] = ck
 			cfg.Check = ck
+		}
+		if opt.Prof {
+			pf := prof.New()
+			profilers[run] = pf
+			cfg.Prof = pf
 		}
 		if opt.OnProgress != nil {
 			cfg.ProgressEvery = opt.ProgressEvery
@@ -322,6 +337,13 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 			checks[run] = ck.Violations()
 		}
 	}
+	var profiles map[string]*prof.Profile
+	if opt.Prof {
+		profiles = map[string]*prof.Profile{}
+		for run, pf := range profilers {
+			profiles[run] = pf.Profile()
+		}
+	}
 
 	return &Comparison{
 		App:                app.Name,
@@ -332,6 +354,7 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		Optimal:            distill(idealR),
 		Observers:          observers,
 		Checks:             checks,
+		Profiles:           profiles,
 		PctArraysOptimized: res.PctArraysOptimized(),
 		PctRefsSatisfied:   res.PctRefsSatisfied(),
 	}, nil

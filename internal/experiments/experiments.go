@@ -32,6 +32,10 @@ type Config struct {
 	Seed uint64
 	// OnJob, when set, receives live per-job completion events.
 	OnJob func(runner.JobEvent)
+	// Prof attaches the latency-attribution profiler to every job
+	// (observation only — job IDs and results are unchanged); per-run
+	// profiles land on each JobOutcome.Profiles.
+	Prof bool
 }
 
 func (c Config) apps() ([]*workloads.App, error) {
@@ -58,7 +62,7 @@ func (c Config) coreOpts() core.Options {
 // (never maps), so a suite's job list — and therefore its job IDs — is
 // stable across runs.
 func (c Config) spec(mode runner.Mode, app string) runner.JobSpec {
-	return runner.JobSpec{Mode: mode, App: app, Cap: c.MaxAccessesPerThread, Seed: c.Seed}
+	return runner.JobSpec{Mode: mode, App: app, Cap: c.MaxAccessesPerThread, Seed: c.Seed, Prof: c.Prof}
 }
 
 // runJobs shards the specs across c.Parallel workers and fails on the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"offchip/internal/obs"
+	"offchip/internal/prof"
 	"offchip/internal/runner"
 	"offchip/internal/stats"
 )
@@ -74,6 +75,26 @@ func (r *SweepResult) Table() string {
 			100*c.ExecImprovement(), 100*c.MemImprovement(), 100*c.OffChipNetImprovement())
 	}
 	return t.String()
+}
+
+// Profiles aggregates every job's per-run latency attribution into one
+// profile per run name ("baseline", "optimized", "optimal") — the sweep-wide
+// differential view. Empty unless the sweep ran with Config.Prof. Addition
+// is commutative, so the aggregate is identical at any worker count.
+func (r *SweepResult) Profiles() map[string]*prof.Profile {
+	out := map[string]*prof.Profile{}
+	for _, o := range r.Result.Outcomes {
+		if o == nil || o.Err != nil {
+			continue
+		}
+		for run, p := range o.Profiles {
+			if out[run] == nil {
+				out[run] = &prof.Profile{}
+			}
+			out[run].Add(p)
+		}
+	}
+	return out
 }
 
 // MergedQueueOcc reads one job's mean bank-queue occupancy for the given

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Satellite coverage for MergeScoped's edge cases: empty registries,
+// duplicate scope labels, and associativity of chained merges.
+
+func snapshotJSONL(t *testing.T, r *Registry, until int64) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, r.Snapshot(until)); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestMergeScopedEmptyRegistries(t *testing.T) {
+	m := NewRegistry()
+	m.MergeScoped(NewRegistry(), 0, "job=empty")
+	if pts := m.Snapshot(0); len(pts) != 0 {
+		t.Fatalf("merging an empty registry produced %d points", len(pts))
+	}
+	// An empty source must not disturb existing content either.
+	m.Counter("sim", "accesses", "job=a").Add(5)
+	before := snapshotJSONL(t, m, 0)
+	m.MergeScoped(NewRegistry(), 0, "job=b")
+	if !bytes.Equal(before, snapshotJSONL(t, m, 0)) {
+		t.Fatal("empty merge changed the destination registry")
+	}
+}
+
+func TestMergeScopedDuplicateJobLabels(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("sim", "accesses").Add(3)
+	src.Histogram("noc", "hops", []int64{0, 1}).Observe(1)
+
+	m := NewRegistry()
+	m.MergeScoped(src, 0, "job=x")
+	m.MergeScoped(src, 0, "job=x") // same scope again: values accumulate
+	if v := m.Counter("sim", "accesses", "job=x").Value(); v != 6 {
+		t.Errorf("duplicate-scope counter = %d, want 6", v)
+	}
+	h := m.Histogram("noc", "hops", []int64{0, 1}, "job=x")
+	if h.Total() != 2 {
+		t.Errorf("duplicate-scope histogram total = %d, want 2", h.Total())
+	}
+}
+
+func TestMergeThenMergeAssociative(t *testing.T) {
+	mk := func(job string, n int64) *Registry {
+		r := NewRegistry()
+		r.Counter("sim", "accesses").Add(n)
+		r.Histogram("noc", "hops", []int64{0, 1, 2}).Observe(n % 3)
+		r.TimeWeighted("dram", "queue_len").Set(0, n)
+		return r
+	}
+	a, b, c := mk("a", 1), mk("b", 2), mk("c", 3)
+
+	// (a ⊕ b) ⊕ c: merge a and b into an intermediate, then that plus c
+	// into the final registry.
+	left := NewRegistry()
+	left.MergeScoped(a, 10, "job=a")
+	left.MergeScoped(b, 10, "job=b")
+	lhs := NewRegistry()
+	lhs.Merge(left, 10)
+	lhs.MergeScoped(c, 10, "job=c")
+
+	// a ⊕ (b ⊕ c).
+	right := NewRegistry()
+	right.MergeScoped(b, 10, "job=b")
+	right.MergeScoped(c, 10, "job=c")
+	rhs := NewRegistry()
+	rhs.MergeScoped(a, 10, "job=a")
+	rhs.Merge(right, 10)
+
+	l, r := snapshotJSONL(t, lhs, 10), snapshotJSONL(t, rhs, 10)
+	if !bytes.Equal(l, r) {
+		t.Fatalf("merge is not associative:\nlhs:\n%s\nrhs:\n%s", l, r)
+	}
+}

@@ -180,9 +180,8 @@ func HopCDFTable(reg *Registry) *stats.Table {
 		if p.Count == 0 {
 			continue
 		}
-		var cum int64
+		fracs := stats.CumulativeFractions(p.Counts)
 		for i, c := range p.Counts {
-			cum += c
 			if c == 0 {
 				continue
 			}
@@ -190,7 +189,7 @@ func HopCDFTable(reg *Registry) *stats.Table {
 			if i < len(p.Buckets) {
 				bound = strconv.FormatInt(p.Buckets[i], 10)
 			}
-			t.AddF(p.Labels["class"], bound, fmt.Sprintf("%.1f", 100*float64(cum)/float64(p.Count)))
+			t.AddF(p.Labels["class"], bound, fmt.Sprintf("%.1f", 100*fracs[i]))
 		}
 	}
 	return t

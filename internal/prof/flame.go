@@ -1,0 +1,169 @@
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Flamegraph export: simulated cycles rendered as if they were a CPU
+// profile, so the standard tooling (inferno/flamegraph.pl on folded
+// stacks, `go tool pprof` on the protobuf form) can visualize where the
+// machine's cycles go. Stacks are core;stage;substage — the "call tree"
+// is the Figure 2 pipeline, and the leaf weight is attributed cycles.
+
+// FoldedStacks renders the per-core attribution in folded-stack format:
+// one "frame1;frame2;frame3 weight" line per non-zero (core, component),
+// with prefix (e.g. the run name) prepended as the root frame when
+// non-empty. Lines are emitted in (core, component) order, deterministic.
+func (p *Profile) FoldedStacks(prefix string) string {
+	var b strings.Builder
+	root := ""
+	if prefix != "" {
+		root = prefix + ";"
+	}
+	for core := range p.PerCore {
+		for c := Component(0); c < NumComponents; c++ {
+			v := p.PerCore[core][c]
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%score%d;%s;%s %d\n", root, core, compStage[c], compSub[c], v)
+		}
+	}
+	return b.String()
+}
+
+// --- pprof profile.proto encoding -------------------------------------
+//
+// The encoder is a minimal hand-rolled protobuf writer for the subset of
+// profile.proto the export needs (no dependency on the pprof module):
+// Profile{sample_type=1, sample=2, location=4, function=5, string_table=6},
+// ValueType{type=1, unit=2}, Sample{location_id=1, value=2},
+// Location{id=1, line=4}, Line{function_id=1, line=2},
+// Function{id=1, name=2, system_name=3, filename=4}.
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key: field number and wire type (0 varint, 2 bytes).
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field<<3 | wire)) }
+
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) intField(field int, v int64) { p.uintField(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// stringTable interns strings into the profile's string table (index 0 is
+// the mandated empty string).
+type stringTable struct {
+	idx  map[string]int64
+	strs []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int64{"": 0}, strs: []string{""}}
+}
+
+func (st *stringTable) of(s string) int64 {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := int64(len(st.strs))
+	st.idx[s] = i
+	st.strs = append(st.strs, s)
+	return i
+}
+
+// WritePprof writes the profile as a gzipped pprof profile.proto whose
+// samples are [substage, stage, core] stacks (leaf first, as pprof
+// requires) weighted by attributed simulated cycles. Load it with
+// `go tool pprof <file>`.
+func (p *Profile) WritePprof(w io.Writer) error {
+	st := newStringTable()
+	var body protoBuf
+
+	// sample_type: one value per sample, "sim_cycles" in "cycles".
+	var vt protoBuf
+	vt.intField(1, st.of("sim_cycles"))
+	vt.intField(2, st.of("cycles"))
+	body.bytesField(1, vt.b)
+
+	// One function + location per distinct frame name.
+	locOf := map[string]uint64{}
+	var locs, funcs protoBuf
+	locationOf := func(name string) uint64 {
+		if id, ok := locOf[name]; ok {
+			return id
+		}
+		id := uint64(len(locOf) + 1)
+		locOf[name] = id
+		var fn protoBuf
+		fn.uintField(1, id)
+		fn.intField(2, st.of(name))
+		fn.intField(3, st.of(name))
+		fn.intField(4, st.of("sim"))
+		funcs.bytesField(5, fn.b)
+		var line protoBuf
+		line.uintField(1, id)
+		var loc protoBuf
+		loc.uintField(1, id)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+		return id
+	}
+
+	var samples protoBuf
+	for core := range p.PerCore {
+		coreLoc := locationOf(fmt.Sprintf("core%d", core))
+		for c := Component(0); c < NumComponents; c++ {
+			v := p.PerCore[core][c]
+			if v == 0 {
+				continue
+			}
+			var s protoBuf
+			// Leaf-first stack: substage, stage, core.
+			s.tag(1, 0)
+			s.varint(locationOf(compStage[c] + ";" + compSub[c]))
+			s.tag(1, 0)
+			s.varint(locationOf(compStage[c]))
+			s.tag(1, 0)
+			s.varint(coreLoc)
+			s.tag(2, 0)
+			s.varint(uint64(v))
+			samples.bytesField(2, s.b)
+		}
+	}
+
+	body.b = append(body.b, samples.b...)
+	body.b = append(body.b, locs.b...)
+	body.b = append(body.b, funcs.b...)
+	for _, s := range st.strs {
+		body.bytesField(6, []byte(s))
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(body.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,75 @@
+package prof
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// Manifest is the provenance record written next to every sweep's output:
+// what ran, with which configuration and seed, from which source revision,
+// how long it took, and where the cycles went. A figure regenerated months
+// later can be traced back to the exact run that produced it.
+type Manifest struct {
+	Command     string            `json:"command"`
+	Args        []string          `json:"args,omitempty"`
+	Config      map[string]string `json:"config,omitempty"`
+	Seed        uint64            `json:"seed"`
+	GitRev      string            `json:"git_rev"`
+	StartedAt   string            `json:"started_at"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Jobs        []string          `json:"jobs,omitempty"` // canonical job IDs
+	StageTotals map[string]int64  `json:"stage_totals,omitempty"`
+}
+
+// NewManifest starts a manifest for the current process: command line,
+// git revision, and start timestamp are captured now; the caller fills
+// config, jobs, and stage totals and calls Write at the end of the run.
+func NewManifest() *Manifest {
+	m := &Manifest{
+		GitRev:    GitRev(),
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Config:    map[string]string{},
+	}
+	if len(os.Args) > 0 {
+		m.Command = os.Args[0]
+		m.Args = os.Args[1:]
+	}
+	return m
+}
+
+// GitRev returns the working tree's HEAD revision, best-effort: "unknown"
+// when git or the repository is unavailable (provenance must never fail a
+// run).
+func GitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Write serializes the manifest as indented JSON at path, stamping the
+// wall time since StartedAt.
+func (m *Manifest) Write(path string) error {
+	if t, err := time.Parse(time.RFC3339, m.StartedAt); err == nil {
+		m.WallSeconds = time.Since(t).Seconds()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ManifestPath returns the conventional manifest location next to an
+// output file: "<out>.manifest.json".
+func ManifestPath(out string) string { return out + ".manifest.json" }

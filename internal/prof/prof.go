@@ -1,0 +1,532 @@
+// Package prof is the cycle-level latency-attribution profiler: it rides
+// the same per-access probe surface the invariant checker uses
+// (sim.Config stage callbacks, per-transit hop counts, the controllers'
+// queue/service split) and decomposes every access's end-to-end latency
+// into exclusive per-stage components — L1 lookup, L2 lookup, NoC request
+// traversal split into zero-load hops vs link queueing, directory lookup
+// and forwarding, DRAM queue wait vs bank service, NoC reply traversal.
+// The decomposition is conservative by construction: each hook attributes
+// the cycles since the access's previous event to exactly one component,
+// so the components of one access always sum to its probe-observed
+// end-to-end latency (TestAttributionConservation and `make profile-smoke`
+// enforce it).
+//
+// Aggregates land per (core, component) and per MC, with registry-backed
+// latency histograms per stage (p50/p95/p99 via obs.Histogram.Quantile).
+// A detached profiler (sim.Config.Prof == nil) costs one nil check per
+// probe site, like the checker and the tracer.
+package prof
+
+import (
+	"fmt"
+
+	"offchip/internal/check"
+	"offchip/internal/noc"
+	"offchip/internal/obs"
+)
+
+// Component is one exclusive slice of an access's end-to-end latency.
+type Component int
+
+const (
+	CompL1 Component = iota
+	CompL2
+	CompNoCReqHops  // request traversal, zero-load portion
+	CompNoCReqQueue // request traversal, link queueing above zero-load
+	CompDirLookup
+	CompFwdHops  // directory→owner forward, zero-load portion
+	CompFwdQueue // directory→owner forward, link queueing
+	CompDRAMQueue
+	CompDRAMService
+	CompNoCRespHops
+	CompNoCRespQueue
+	CompRetire // residual between the last attributed event and retirement
+
+	NumComponents
+)
+
+// Stage groups components into the coarse pipeline stages the flamegraph
+// and the differential table fold by.
+var compStage = [NumComponents]string{
+	CompL1:           "l1",
+	CompL2:           "l2",
+	CompNoCReqHops:   "noc-req",
+	CompNoCReqQueue:  "noc-req",
+	CompDirLookup:    "dir",
+	CompFwdHops:      "dir",
+	CompFwdQueue:     "dir",
+	CompDRAMQueue:    "dram",
+	CompDRAMService:  "dram",
+	CompNoCRespHops:  "noc-resp",
+	CompNoCRespQueue: "noc-resp",
+	CompRetire:       "retire",
+}
+
+var compSub = [NumComponents]string{
+	CompL1:           "lookup",
+	CompL2:           "lookup",
+	CompNoCReqHops:   "hops",
+	CompNoCReqQueue:  "queueing",
+	CompDirLookup:    "lookup",
+	CompFwdHops:      "fwd-hops",
+	CompFwdQueue:     "fwd-queueing",
+	CompDRAMQueue:    "queue",
+	CompDRAMService:  "service",
+	CompNoCRespHops:  "hops",
+	CompNoCRespQueue: "queueing",
+	CompRetire:       "residual",
+}
+
+// Stage returns the component's coarse pipeline stage ("l1", "noc-req", …).
+func (c Component) Stage() string { return compStage[c] }
+
+// Sub returns the component's substage within its stage ("hops", "queue", …).
+func (c Component) Sub() string { return compSub[c] }
+
+func (c Component) String() string { return compStage[c] + ";" + compSub[c] }
+
+// StageNames lists the coarse stages in pipeline order — the grouping
+// every per-stage histogram and table iterates in.
+var StageNames = []string{"l1", "l2", "noc-req", "dir", "dram", "noc-resp", "retire"}
+
+var stageIndex = func() map[string]int {
+	m := make(map[string]int, len(StageNames))
+	for i, s := range StageNames {
+		m[s] = i
+	}
+	return m
+}()
+
+// TransitKind classifies a network traversal for attribution.
+type TransitKind int
+
+const (
+	// TransitReq is a request-side traversal (L1/L2 toward directory or MC).
+	TransitReq TransitKind = iota
+	// TransitFwd is the directory→owner forward of an L2-to-L2 transfer.
+	TransitFwd
+	// TransitResp is a response-side traversal (data heading back).
+	TransitResp
+)
+
+var transitComps = [...][2]Component{
+	TransitReq:  {CompNoCReqHops, CompNoCReqQueue},
+	TransitFwd:  {CompFwdHops, CompFwdQueue},
+	TransitResp: {CompNoCRespHops, CompNoCRespQueue},
+}
+
+// Params binds a profiler to one simulated machine.
+type Params struct {
+	Cores int
+	MCs   int
+	// NoC supplies the hop cost the zero-load/queueing split is computed
+	// against (check.NoCZeroLoad — the same oracle the checker enforces).
+	NoC noc.Config
+	// Obs hosts the per-stage and end-to-end latency histograms. Nil gets
+	// the profiler a private registry.
+	Obs *obs.Observer
+}
+
+// accessRec tracks one in-flight access: its issuing core, issue time, and
+// the time of its last attributed event (the exclusive-attribution cursor).
+type accessRec struct {
+	core  int
+	start int64
+	last  int64
+}
+
+// servedSplit is one controller service record waiting for its access's
+// completion event: the queue/service split dram.Probe.Serve reported.
+type servedSplit struct {
+	queue   int64
+	service int64
+}
+
+// serveKey correlates a Serve record with the completion the controller
+// schedules for it: completions for one (mc, finish) time dispatch in the
+// same order the controller emitted them (the engine's (time, seq) order),
+// so a per-key FIFO resolves even same-cycle collisions across banks.
+type serveKey struct {
+	mc     int
+	finish int64
+}
+
+// Profiler decomposes per-access latency. It is bound to one run at a time
+// (Bind resets all state) and is not safe for concurrent runs — give each
+// simulation its own, exactly like check.Checker.
+type Profiler struct {
+	p      Params
+	perHop int64 // zero-load cycles per hop
+
+	nextID   int64
+	inflight map[int64]accessRec
+	pending  map[serveKey][]servedSplit
+
+	// Aggregates, plain int64 on the hot path; published to the registry
+	// by FinishRun.
+	comp      [NumComponents]int64
+	perCore   [][NumComponents]int64
+	mcQueue   []int64
+	mcService []int64
+	accesses  int64
+	endToEnd  int64
+
+	endHist    *obs.Histogram
+	stageHists []*obs.Histogram // indexed like StageNames
+
+	obs        *obs.Observer
+	violations []string
+}
+
+// New returns an unbound profiler; sim.Run binds it via Config.Prof.
+func New() *Profiler { return &Profiler{} }
+
+// histBounds is the geometric latency ladder every profiler histogram
+// uses: 1..2^19 cycles, overflow above. Shared bounds keep sweep-merged
+// registries mergeable (obs histogram absorption requires equal bounds).
+func histBounds() []int64 { return obs.ExponentialBuckets(1, 2, 20) }
+
+// Bind resets the profiler and attaches it to a machine. sim.Run calls it
+// once per run before the first access issues.
+func (p *Profiler) Bind(params Params) {
+	p.p = params
+	p.perHop = check.NoCZeroLoad(params.NoC, 1)
+	p.nextID = 0
+	p.inflight = make(map[int64]accessRec)
+	p.pending = make(map[serveKey][]servedSplit)
+	p.comp = [NumComponents]int64{}
+	p.perCore = make([][NumComponents]int64, params.Cores)
+	p.mcQueue = make([]int64, params.MCs)
+	p.mcService = make([]int64, params.MCs)
+	p.accesses = 0
+	p.endToEnd = 0
+	p.violations = nil
+	p.obs = obs.OrNew(params.Obs)
+	p.endHist = p.obs.Reg.Histogram("prof", "access_latency", histBounds())
+	p.stageHists = make([]*obs.Histogram, len(StageNames))
+	for i, s := range StageNames {
+		p.stageHists[i] = p.obs.Reg.Histogram("prof", "stage_latency", histBounds(), "stage="+s)
+	}
+}
+
+// violate records an internal consistency failure (attribution running
+// backwards, an uncorrelated DRAM completion). A clean run records none;
+// the profile-smoke gate asserts that.
+func (p *Profiler) violate(format string, args ...any) {
+	if len(p.violations) < 64 {
+		p.violations = append(p.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Violations returns the internal consistency failures of the bound run.
+func (p *Profiler) Violations() []string { return p.violations }
+
+// Start registers a new access issued by core at time t and returns its
+// profiler ID (≥ 1; 0 means "untracked", matching the checker convention).
+func (p *Profiler) Start(core int, t int64) int64 {
+	p.nextID++
+	p.inflight[p.nextID] = accessRec{core: core, start: t, last: t}
+	return p.nextID
+}
+
+// attribute charges delta cycles to component c on the access's core.
+func (p *Profiler) attribute(rec *accessRec, c Component, delta int64) {
+	if delta < 0 {
+		p.violate("component %v of access on core %d ran backwards (%d cycles)", c, rec.core, delta)
+		return
+	}
+	p.comp[c] += delta
+	if rec.core >= 0 && rec.core < len(p.perCore) {
+		p.perCore[rec.core][c] += delta
+	}
+}
+
+// StageAt records that the access finished component c at time t,
+// attributing all cycles since its previous event to c.
+func (p *Profiler) StageAt(id int64, c Component, t int64) {
+	rec, ok := p.inflight[id]
+	if !ok {
+		p.violate("stage %v reported for unknown access %d", c, id)
+		return
+	}
+	delta := t - rec.last
+	p.attribute(&rec, c, delta)
+	if delta >= 0 {
+		p.stageHists[stageIndex[compStage[c]]].Observe(delta)
+	}
+	rec.last = t
+	p.inflight[id] = rec
+}
+
+// TransitAt records one network traversal of hops links departing at
+// depart and arriving at arrive, splitting the cycles since the access's
+// previous event into the zero-load hop cost and link queueing. kind
+// selects the request, forward, or response component pair.
+func (p *Profiler) TransitAt(id int64, kind TransitKind, depart, arrive int64, hops int) {
+	rec, ok := p.inflight[id]
+	if !ok {
+		p.violate("transit reported for unknown access %d", id)
+		return
+	}
+	delta := arrive - rec.last
+	zero := int64(hops) * p.perHop
+	if zero > delta {
+		// Attribution never exceeds the elapsed window: a transit departing
+		// before the previous event would break exclusivity.
+		p.violate("transit of access %d: zero-load %d exceeds elapsed %d", id, zero, delta)
+		zero = delta
+	}
+	comps := transitComps[kind]
+	p.attribute(&rec, comps[0], zero)
+	p.attribute(&rec, comps[1], delta-zero)
+	if delta >= 0 {
+		p.stageHists[stageIndex[compStage[comps[0]]]].Observe(delta)
+	}
+	rec.last = arrive
+	p.inflight[id] = rec
+}
+
+// Enqueue implements dram.Probe; arrival time is already the access's
+// cursor (the submit stage fires at the same cycle), so nothing to record.
+func (p *Profiler) Enqueue(mc, bank int, at int64) {}
+
+// Serve implements dram.Probe: remember the request's queue-wait and bank
+// service split until its completion event reaches DRAMDone. Service
+// records for one (mc, finish) cycle complete in emission order, so a
+// per-key FIFO correlates them exactly.
+func (p *Profiler) Serve(mc, bank int, arrive, start, finish int64, bypassed int) {
+	k := serveKey{mc: mc, finish: finish}
+	p.pending[k] = append(p.pending[k], servedSplit{queue: start - arrive, service: finish - start})
+}
+
+// DRAMDone records that the access's controller request finished at finish
+// on controller mc, attributing the cycles since the previous event to
+// DRAM queue wait and bank service using the controller's own split.
+func (p *Profiler) DRAMDone(id int64, mc int, finish int64) {
+	rec, ok := p.inflight[id]
+	if !ok {
+		p.violate("DRAM completion for unknown access %d", id)
+		return
+	}
+	delta := finish - rec.last
+	k := serveKey{mc: mc, finish: finish}
+	q := p.pending[k]
+	var split servedSplit
+	if len(q) > 0 {
+		split = q[0]
+		if len(q) == 1 {
+			delete(p.pending, k)
+		} else {
+			p.pending[k] = q[1:]
+		}
+	} else {
+		p.violate("access %d: no service record at mc%d finish=%d", id, mc, finish)
+		split = servedSplit{queue: 0, service: delta}
+	}
+	if split.queue+split.service != delta {
+		// The submit stage and the controller's arrive stamp coincide by
+		// construction; a mismatch means the correlation picked the wrong
+		// record. Keep conservation: trust the service time, absorb the
+		// difference into queueing.
+		p.violate("access %d: mc%d split %d+%d != elapsed %d", id, mc, split.queue, split.service, delta)
+		split.queue = delta - split.service
+	}
+	p.attribute(&rec, CompDRAMQueue, split.queue)
+	p.attribute(&rec, CompDRAMService, split.service)
+	if delta >= 0 {
+		p.stageHists[stageIndex["dram"]].Observe(delta)
+	}
+	if mc >= 0 && mc < len(p.mcQueue) && split.queue >= 0 && split.service >= 0 {
+		p.mcQueue[mc] += split.queue
+		p.mcService[mc] += split.service
+	}
+	rec.last = finish
+	p.inflight[id] = rec
+}
+
+// DRAMOptimal records the Section 2 optimal scheme's contention-free
+// service finishing at finish: all elapsed cycles are bank service (the
+// optimal scheme has no queue by definition).
+func (p *Profiler) DRAMOptimal(id int64, finish int64) {
+	rec, ok := p.inflight[id]
+	if !ok {
+		p.violate("optimal DRAM completion for unknown access %d", id)
+		return
+	}
+	delta := finish - rec.last
+	p.attribute(&rec, CompDRAMService, delta)
+	if delta >= 0 {
+		p.stageHists[stageIndex["dram"]].Observe(delta)
+	}
+	rec.last = finish
+	p.inflight[id] = rec
+}
+
+// End retires the access at time t. Cycles between the last attributed
+// event and t land in CompRetire; on every current simulator path the
+// completion event fires exactly at the last attributed time, so a nonzero
+// retire component flags an unattributed latency source.
+func (p *Profiler) End(id int64, t int64) {
+	rec, ok := p.inflight[id]
+	if !ok {
+		p.violate("access %d retired twice (or never started)", id)
+		return
+	}
+	p.attribute(&rec, CompRetire, t-rec.last)
+	delete(p.inflight, id)
+	p.accesses++
+	total := t - rec.start
+	p.endToEnd += total
+	p.endHist.Observe(total)
+}
+
+// FinishRun publishes the aggregates into the bound registry and verifies
+// the run drained: every started access ended and every controller service
+// record was claimed by a completion.
+func (p *Profiler) FinishRun() {
+	if n := len(p.inflight); n > 0 {
+		p.violate("%d accesses still in flight at end of run", n)
+	}
+	if n := len(p.pending); n > 0 {
+		p.violate("%d DRAM service records never matched a completion", n)
+	}
+	reg := p.obs.Reg
+	reg.Counter("prof", "accesses").Add(p.accesses)
+	reg.Counter("prof", "end_to_end_cycles").Add(p.endToEnd)
+	for c := Component(0); c < NumComponents; c++ {
+		reg.Counter("prof", "stage_cycles", "stage="+compStage[c], "sub="+compSub[c]).Add(p.comp[c])
+	}
+	for core := range p.perCore {
+		for c := Component(0); c < NumComponents; c++ {
+			if v := p.perCore[core][c]; v != 0 {
+				reg.Counter("prof", "core_cycles",
+					fmt.Sprintf("core=%d", core), "stage="+compStage[c], "sub="+compSub[c]).Add(v)
+			}
+		}
+	}
+	for mc := range p.mcQueue {
+		if p.mcQueue[mc] != 0 || p.mcService[mc] != 0 {
+			reg.Counter("prof", "mc_cycles", fmt.Sprintf("mc=%d", mc), "sub=queue").Add(p.mcQueue[mc])
+			reg.Counter("prof", "mc_cycles", fmt.Sprintf("mc=%d", mc), "sub=service").Add(p.mcService[mc])
+		}
+	}
+}
+
+// Profile snapshots the bound run's attribution into a self-contained
+// value (histograms are cloned, so the snapshot survives the registry).
+func (p *Profiler) Profile() *Profile {
+	out := &Profile{
+		Cores:      len(p.perCore),
+		MCs:        len(p.mcQueue),
+		Accesses:   p.accesses,
+		EndToEnd:   p.endToEnd,
+		Comp:       make([]int64, NumComponents),
+		PerCore:    make([][]int64, len(p.perCore)),
+		MCQueue:    append([]int64(nil), p.mcQueue...),
+		MCService:  append([]int64(nil), p.mcService...),
+		End:        p.endHist.Clone(),
+		Stages:     make(map[string]*obs.Histogram, len(StageNames)),
+		Violations: append([]string(nil), p.violations...),
+	}
+	copy(out.Comp, p.comp[:])
+	for i := range p.perCore {
+		out.PerCore[i] = append([]int64(nil), p.perCore[i][:]...)
+	}
+	for i, s := range StageNames {
+		out.Stages[s] = p.stageHists[i].Clone()
+	}
+	return out
+}
+
+// Profile is one run's (or one aggregated sweep's) complete attribution.
+type Profile struct {
+	Cores     int
+	MCs       int
+	Accesses  int64
+	EndToEnd  int64   // Σ per-access end-to-end cycles
+	Comp      []int64 // indexed by Component
+	PerCore   [][]int64
+	MCQueue   []int64
+	MCService []int64
+
+	End    *obs.Histogram            // end-to-end latency distribution
+	Stages map[string]*obs.Histogram // per-visit latency by coarse stage
+
+	// Violations carries the profiler's internal consistency failures into
+	// the snapshot (empty for a clean run — the profile-smoke gate asserts
+	// it).
+	Violations []string
+}
+
+// Attributed returns the sum of every component — by construction equal to
+// EndToEnd for a clean run (the conservation invariant the tests enforce).
+func (p *Profile) Attributed() int64 {
+	var s int64
+	for _, v := range p.Comp {
+		s += v
+	}
+	return s
+}
+
+// PerAccess returns the component's mean cycles per completed access.
+func (p *Profile) PerAccess(c Component) float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	return float64(p.Comp[c]) / float64(p.Accesses)
+}
+
+// Add folds another profile into p (sweep aggregation). Core and MC slices
+// grow to cover the larger machine; histograms merge bucket-wise.
+func (p *Profile) Add(o *Profile) {
+	if o == nil {
+		return
+	}
+	if p.Comp == nil {
+		p.Comp = make([]int64, NumComponents)
+	}
+	for i := range o.Comp {
+		p.Comp[i] += o.Comp[i]
+	}
+	for len(p.PerCore) < len(o.PerCore) {
+		p.PerCore = append(p.PerCore, make([]int64, NumComponents))
+	}
+	for i := range o.PerCore {
+		for c := range o.PerCore[i] {
+			p.PerCore[i][c] += o.PerCore[i][c]
+		}
+	}
+	for len(p.MCQueue) < len(o.MCQueue) {
+		p.MCQueue = append(p.MCQueue, 0)
+		p.MCService = append(p.MCService, 0)
+	}
+	for i := range o.MCQueue {
+		p.MCQueue[i] += o.MCQueue[i]
+		p.MCService[i] += o.MCService[i]
+	}
+	if p.Cores < o.Cores {
+		p.Cores = o.Cores
+	}
+	if p.MCs < o.MCs {
+		p.MCs = o.MCs
+	}
+	p.Accesses += o.Accesses
+	p.EndToEnd += o.EndToEnd
+	if p.End == nil {
+		p.End = obs.NewHistogram(histBounds())
+	}
+	p.End.Absorb(o.End)
+	if p.Stages == nil {
+		p.Stages = make(map[string]*obs.Histogram, len(StageNames))
+	}
+	for _, s := range StageNames {
+		if o.Stages[s] == nil {
+			continue
+		}
+		if p.Stages[s] == nil {
+			p.Stages[s] = obs.NewHistogram(histBounds())
+		}
+		p.Stages[s].Absorb(o.Stages[s])
+	}
+	p.Violations = append(p.Violations, o.Violations...)
+}

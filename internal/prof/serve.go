@@ -1,0 +1,335 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"offchip/internal/obs"
+)
+
+// The live observability plane: an opt-in HTTP endpoint (the -serve flag
+// of cmd/offchip and cmd/benchtab) exposing the obs registry as Prometheus
+// text exposition (/metrics), sweep progress as JSON (/progress), and the
+// current attribution snapshot (/profile). The listener binds before the
+// run starts — a bad address fails fast instead of racing a goroutine —
+// and shuts down cleanly at exit; cmd/sweepd will mount the same handler.
+
+// Progress is the /progress payload. The serving side fills Elapsed and
+// ETA from its own clock; callbacks fill the job counts.
+type Progress struct {
+	TotalJobs  int     `json:"total_jobs"`
+	DoneJobs   int     `json:"done_jobs"`
+	InFlight   int     `json:"in_flight"`
+	Failed     int     `json:"failed"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	ETASec     float64 `json:"eta_sec"`
+}
+
+// ServerConfig wires the data sources of a Server. All callbacks must be
+// safe for concurrent use; nil callbacks serve empty payloads.
+type ServerConfig struct {
+	// Addr is the listen address (e.g. ":9090", "127.0.0.1:0").
+	Addr string
+	// Registries returns the label→registry map /metrics exports. Labels
+	// become the source="..." label on every exported sample.
+	Registries func() map[string]*obs.Registry
+	// Profiles returns the label→profile map /profile serves.
+	Profiles func() map[string]*Profile
+	// Progress returns the current job counts for /progress.
+	Progress func() Progress
+}
+
+// Server is the live observability endpoint.
+type Server struct {
+	cfg   ServerConfig
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer binds the listener (failing fast on a bad address) and returns
+// the server without serving yet; call Start to begin handling requests.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("prof: serve: %w", err)
+	}
+	s := &Server{cfg: cfg, ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/profile", s.handleProfile)
+	s.srv = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" to the real port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Start serves requests on the bound listener until Close.
+func (s *Server) Start() {
+	go func() {
+		if err := s.srv.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+			// The listener was bound at construction, so a serve error here
+			// is a shutdown race at worst; nothing useful to surface.
+			_ = err
+		}
+	}()
+}
+
+// Close shuts the server down and releases the listener. Safe to call
+// more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "offchip observability plane\n/metrics  Prometheus text exposition\n/progress job progress JSON\n/profile  latency attribution JSON\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var regs map[string]*obs.Registry
+	if s.cfg.Registries != nil {
+		regs = s.cfg.Registries()
+	}
+	WriteExposition(w, regs)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var p Progress
+	if s.cfg.Progress != nil {
+		p = s.cfg.Progress()
+	}
+	p.ElapsedSec = time.Since(s.start).Seconds()
+	if p.DoneJobs > 0 && p.DoneJobs < p.TotalJobs {
+		p.ETASec = p.ElapsedSec / float64(p.DoneJobs) * float64(p.TotalJobs-p.DoneJobs)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	out := map[string]Summary{}
+	if s.cfg.Profiles != nil {
+		for label, p := range s.cfg.Profiles() {
+			if p != nil {
+				out[label] = p.Summarize()
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// --- Prometheus text exposition ---------------------------------------
+
+// sanitizeMetricName maps a registry component/name to the Prometheus
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sanitizeLabelName(s string) string { return sanitizeMetricName(s) }
+
+// promLabels renders a label set ({} omitted when empty), keys sorted.
+func promLabels(labels map[string]string, extra ...[2]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeLabelName(k), labels[k]))
+	}
+	for _, kv := range extra {
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeLabelName(kv[0]), kv[1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteExposition writes every registry's snapshot in Prometheus text
+// exposition format (one family per component/name, `# TYPE` lines,
+// cumulative histogram buckets with le labels, _sum and _count series).
+// The source map key becomes a source="..." label; sources and samples
+// are emitted in sorted order, so the output is deterministic.
+func WriteExposition(w io.Writer, sources map[string]*obs.Registry) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	type family struct {
+		name  string
+		typ   string
+		lines []string
+	}
+	byName := map[string]*family{}
+	var order []string
+	add := func(name, typ, line string) {
+		f := byName[name]
+		if f == nil {
+			f = &family{name: name, typ: typ}
+			byName[name] = f
+			order = append(order, name)
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for _, src := range names {
+		reg := sources[src]
+		if reg == nil {
+			continue
+		}
+		srcLabel := [2]string{"source", src}
+		for _, p := range reg.Snapshot(0) {
+			name := "offchip_" + sanitizeMetricName(p.Component) + "_" + sanitizeMetricName(p.Name)
+			switch p.Type {
+			case "counter":
+				add(name, "counter", fmt.Sprintf("%s%s %d", name, promLabels(p.Labels, srcLabel), p.Value))
+			case "gauge", "timeweighted":
+				add(name, "gauge", fmt.Sprintf("%s%s %d", name, promLabels(p.Labels, srcLabel), p.Value))
+			case "histogram":
+				var cum int64
+				for i, c := range p.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(p.Buckets) {
+						le = strconv.FormatInt(p.Buckets[i], 10)
+					}
+					add(name, "histogram", fmt.Sprintf("%s_bucket%s %d",
+						name, promLabels(p.Labels, srcLabel, [2]string{"le", le}), cum))
+				}
+				add(name, "histogram", fmt.Sprintf("%s_sum%s %d", name, promLabels(p.Labels, srcLabel), p.Sum))
+				add(name, "histogram", fmt.Sprintf("%s_count%s %d", name, promLabels(p.Labels, srcLabel), p.Count))
+			}
+		}
+	}
+
+	for _, n := range order {
+		f := byName[n]
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, l := range f.lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+// ParseExposition validates Prometheus text exposition: every non-comment
+// line must be `name{labels} value`, names in the legal charset, label
+// values quoted, values parseable floats. It returns the family and
+// sample counts — the profile-smoke gate asserts both are positive.
+func ParseExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(rest) != 2 || !validMetricName(rest[0]) {
+				return 0, 0, fmt.Errorf("prof: exposition line %d: bad TYPE line %q", lineNo, line)
+			}
+			switch rest[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, 0, fmt.Errorf("prof: exposition line %d: unknown type %q", lineNo, rest[1])
+			}
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments (HELP etc.)
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return 0, 0, fmt.Errorf("prof: exposition line %d: unbalanced braces", lineNo)
+			}
+			rest = strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+			rest = strings.TrimSpace(line[i+1:])
+		}
+		if !validMetricName(name) {
+			return 0, 0, fmt.Errorf("prof: exposition line %d: bad metric name %q", lineNo, name)
+		}
+		val := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			val = rest[:i] // optional trailing timestamp
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return 0, 0, fmt.Errorf("prof: exposition line %d: bad value %q", lineNo, val)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	return families, samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -30,6 +30,11 @@ type JobEvent struct {
 	Total  int
 	WallNS int64
 	Err    error
+	// Outcome is the finished job's full result. The live observability
+	// plane merges registries and aggregates profiles from here as jobs
+	// complete; OnJob calls are serialized, so reading it needs no extra
+	// locking.
+	Outcome *JobOutcome
 }
 
 // Result is the outcome of a sweep.
@@ -146,13 +151,14 @@ func Run(specs []JobSpec, opt Options) (*Result, error) {
 				if opt.OnJob != nil {
 					evMu.Lock()
 					opt.OnJob(JobEvent{
-						ID:     out.ID,
-						Index:  i,
-						Worker: w,
-						Done:   int(n),
-						Total:  len(specs),
-						WallNS: out.WallNS,
-						Err:    out.Err,
+						ID:      out.ID,
+						Index:   i,
+						Worker:  w,
+						Done:    int(n),
+						Total:   len(specs),
+						WallNS:  out.WallNS,
+						Err:     out.Err,
+						Outcome: out,
 					})
 					evMu.Unlock()
 				}

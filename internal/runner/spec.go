@@ -19,6 +19,7 @@ import (
 	"offchip/internal/core"
 	"offchip/internal/layout"
 	"offchip/internal/obs"
+	"offchip/internal/prof"
 	"offchip/internal/sim"
 	"offchip/internal/workloads"
 )
@@ -57,6 +58,12 @@ type JobSpec struct {
 	Policy     string // baseline page policy: "interleaved" | "firsttouch" | "osassisted"
 	Cap        int    // MaxAccessesPerThread (0: full traces)
 	Seed       uint64 // sweep seed; 0 keeps the historical jitter stream
+
+	// Prof attaches the latency-attribution profiler to the job's runs and
+	// fills JobOutcome.Profiles. Pure observation: it is deliberately
+	// excluded from ID/ParseJobID so profiling a job never changes its
+	// identity, seed derivation, or replayed results.
+	Prof bool
 }
 
 // Normalized returns the spec with every defaulted field made explicit.
@@ -287,6 +294,7 @@ type JobOutcome struct {
 	Analysis   *layout.Result           // ModeAnalyze
 	Observers  map[string]*obs.Observer // run name → observer
 	ExecTimes  map[string]int64         // run name → ExecTime (merge horizon)
+	Profiles   map[string]*prof.Profile // run name → attribution (Spec.Prof only)
 
 	Err    error
 	Worker int   // which worker executed the job (not deterministic)
@@ -356,6 +364,7 @@ func (s JobSpec) execute() (out *JobOutcome) {
 	}
 	switch n.Mode {
 	case ModeCompare:
+		opt.Prof = n.Prof
 		c, err := core.Compare(app, m, cm, opt)
 		if err != nil {
 			out.Err = err
@@ -368,6 +377,7 @@ func (s JobSpec) execute() (out *JobOutcome) {
 			"optimized": c.Optimized.ExecTime,
 			"optimal":   c.Optimal.ExecTime,
 		}
+		out.Profiles = c.Profiles
 	case ModeBaseline, ModeOptimized:
 		baseW, optW, _, err := core.Workloads(app, m, cm, opt)
 		if err != nil {
@@ -389,6 +399,11 @@ func (s JobSpec) execute() (out *JobOutcome) {
 		}
 		o := obs.OrNew(nil)
 		cfg.Obs = o
+		var pf *prof.Profiler
+		if n.Prof {
+			pf = prof.New()
+			cfg.Prof = pf
+		}
 		r, err := sim.Run(cfg, w)
 		if err != nil {
 			out.Err = err
@@ -397,6 +412,9 @@ func (s JobSpec) execute() (out *JobOutcome) {
 		out.Run = r
 		out.Observers[run] = o
 		out.ExecTimes[run] = r.ExecTime
+		if pf != nil {
+			out.Profiles = map[string]*prof.Profile{run: pf.Profile()}
+		}
 	case ModeAnalyze:
 		p, store, err := app.Load()
 		if err != nil {
@@ -417,6 +435,11 @@ func (s JobSpec) execute() (out *JobOutcome) {
 	}
 	return out
 }
+
+// Execute runs the job in the calling goroutine — the single-job entry
+// point (replay with options, the profile-smoke gate) behind the same
+// panic-capturing path the sweep workers use.
+func (s JobSpec) Execute() *JobOutcome { return s.execute() }
 
 // Replay re-executes a single job from its canonical ID. Because the job's
 // jitter seed and registry are derived from the ID alone, the outcome is

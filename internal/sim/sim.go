@@ -22,6 +22,7 @@ import (
 	"offchip/internal/mesh"
 	"offchip/internal/noc"
 	"offchip/internal/obs"
+	"offchip/internal/prof"
 )
 
 // PolicyKind selects the page allocation policy under page interleaving.
@@ -105,6 +106,14 @@ type Config struct {
 	// conservation totals. Nil (the default) disables every probe at the
 	// cost of one nil check per site, like the tracer.
 	Check *check.Checker
+
+	// Prof attaches the latency-attribution profiler: Run binds it to this
+	// machine and feeds it the same per-access stage stream the checker
+	// sees, plus per-transit hop counts and the controllers' queue/service
+	// splits, so every access's end-to-end latency decomposes into
+	// exclusive per-stage components. Nil (the default) disables every
+	// hook at the cost of one nil check per site.
+	Prof *prof.Profiler
 }
 
 // Progress is a live status sample of a running simulation.
@@ -288,6 +297,7 @@ type machine struct {
 	cores  []*coreState
 	res    *Result
 	ck     *check.Checker // nil when checking is off
+	pf     *prof.Profiler // nil when profiling is off
 
 	// Registry-backed statistics: the Figure 13 access map plus the access
 	// outcome counters; coreComp holds precomputed trace component names.
@@ -338,6 +348,7 @@ type accessEvent struct {
 	t     int64 // stage-specific captured time (e.g. the optimal scheme's finish)
 	local int64 // controller-local address
 	ckID  int64 // invariant-checker access ID (0 when checking is off)
+	pfID  int64 // profiler access ID (0 when profiling is off)
 
 	coreNode mesh.Node
 	mcNode   mesh.Node
@@ -380,12 +391,18 @@ func (e *accessEvent) Handle(now int64) {
 		if ck := m.ck; ck != nil {
 			ck.EndAccess(e.ckID, now)
 		}
+		if pf := m.pf; pf != nil {
+			pf.End(e.pfID, now)
+		}
 		m.freeEvent(e)
 		m.complete(core, app, last)
 	case stPrivOptFinish:
-		tBack, _ := m.net.Transit(e.t, e.mcNode, e.coreNode, noc.OffChip)
+		tBack, hops := m.net.Transit(e.t, e.mcNode, e.coreNode, noc.OffChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tBack)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, e.t, tBack, hops)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(tBack, e)
@@ -396,17 +413,23 @@ func (e *accessEvent) Handle(now int64) {
 		m.mcs[e.mcID].SubmitTo(e.local, e)
 	case stSharedHomeHit:
 		// Path 5: home bank → L1.
-		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		tData, hops := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, now, tData, hops)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
 	case stSharedBank:
 		// Paths 2–4, issued by the home bank.
-		tReq, _ := m.net.Transit(now, e.homeNode, e.mcNode, noc.OffChip)
+		tReq, hops := m.net.Transit(now, e.homeNode, e.mcNode, noc.OffChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCReq, tReq)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitReq, now, tReq, hops)
 		}
 		if m.cfg.OptimalOffchip {
 			finish := tReq + m.cfg.DRAM.TRowHit
@@ -414,6 +437,9 @@ func (e *accessEvent) Handle(now int64) {
 			m.res.MemServed++
 			if ck := m.ck; ck != nil {
 				ck.Stage(e.ckID, check.StageDRAMDone, finish)
+			}
+			if pf := m.pf; pf != nil {
+				pf.DRAMOptimal(e.pfID, finish)
 			}
 			e.stage, e.t = stSharedOptServe, finish
 			m.sim.Schedule(finish, e)
@@ -427,17 +453,23 @@ func (e *accessEvent) Handle(now int64) {
 		}
 		m.mcs[e.mcID].SubmitTo(e.local, e)
 	case stSharedOptServe:
-		tFill, _ := m.net.Transit(e.t, e.mcNode, e.homeNode, noc.OffChip)
+		tFill, hops := m.net.Transit(e.t, e.mcNode, e.homeNode, noc.OffChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tFill)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, e.t, tFill, hops)
 		}
 		e.stage = stSharedFill
 		m.sim.Schedule(tFill, e)
 	case stSharedFill:
 		// Path 5: home bank → L1.
-		tData, _ := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
+		tData, hops := m.net.Transit(now, e.homeNode, e.coreNode, noc.OnChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, now, tData, hops)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
@@ -454,18 +486,27 @@ func (e *accessEvent) MemDone(finish int64) {
 	if ck := m.ck; ck != nil {
 		ck.Stage(e.ckID, check.StageDRAMDone, finish)
 	}
+	if pf := m.pf; pf != nil {
+		pf.DRAMDone(e.pfID, e.mcID, finish)
+	}
 	switch e.stage {
 	case stPrivSubmit:
-		tBack, _ := m.net.Transit(finish, e.mcNode, e.coreNode, noc.OffChip)
+		tBack, hops := m.net.Transit(finish, e.mcNode, e.coreNode, noc.OffChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tBack)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, finish, tBack, hops)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(tBack, e)
 	case stSharedSubmit:
-		tFill, _ := m.net.Transit(finish, e.mcNode, e.homeNode, noc.OffChip)
+		tFill, hops := m.net.Transit(finish, e.mcNode, e.homeNode, noc.OffChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCResp, tFill)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitResp, finish, tFill, hops)
 		}
 		e.stage = stSharedFill
 		m.sim.Schedule(tFill, e)
@@ -518,6 +559,11 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		cfg.Check.Bind(p)
 		nocCfg.Probe = cfg.Check
 	}
+	if cfg.Prof != nil {
+		cfg.Prof.Bind(prof.Params{
+			Cores: cores, MCs: cfg.Machine.NumMCs, NoC: nocCfg, Obs: o,
+		})
+	}
 	m := &machine{
 		cfg:    cfg,
 		memCfg: memCfg,
@@ -527,6 +573,7 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		dir:    cache.NewDirectory(),
 		spaces: map[int]*mem.AddressSpace{},
 		ck:     cfg.Check,
+		pf:     cfg.Prof,
 		res: &Result{
 			AppExecTime: map[int]int64{},
 			AccessMap:   make([][]int64, cores),
@@ -558,8 +605,8 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	}
 	for i := 0; i < cfg.Machine.NumMCs; i++ {
 		mc := dram.New(i, cfg.DRAM, m.sim, o)
-		if cfg.Check != nil {
-			mc.Probe = cfg.Check
+		if pr := dramProbeFor(cfg.Check, cfg.Prof); pr != nil {
+			mc.Probe = pr
 		}
 		m.mcs = append(m.mcs, mc)
 	}
@@ -619,7 +666,39 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	if cfg.Check != nil {
 		cfg.Check.FinishRun(m.res.Totals(w, &cfg))
 	}
+	if cfg.Prof != nil {
+		cfg.Prof.FinishRun()
+	}
 	return m.res, nil
+}
+
+// dramProbeFor selects the controller probe for the attached observers:
+// the checker, the profiler, or a fan-out to both. Returning a concrete
+// nil through the interface would read as non-nil at the call site, so
+// absent observers yield an explicit nil.
+func dramProbeFor(ck *check.Checker, pf *prof.Profiler) dram.Probe {
+	switch {
+	case ck != nil && pf != nil:
+		return dramProbes{a: ck, b: pf}
+	case ck != nil:
+		return ck
+	case pf != nil:
+		return pf
+	}
+	return nil
+}
+
+// dramProbes duplicates the controller probe stream to two observers.
+type dramProbes struct{ a, b dram.Probe }
+
+func (d dramProbes) Enqueue(mc, bank int, at int64) {
+	d.a.Enqueue(mc, bank, at)
+	d.b.Enqueue(mc, bank, at)
+}
+
+func (d dramProbes) Serve(mc, bank int, arrive, start, finish int64, bypassed int) {
+	d.a.Serve(mc, bank, arrive, start, finish, bypassed)
+	d.b.Serve(mc, bank, arrive, start, finish, bypassed)
 }
 
 // Totals summarizes a drained run for check.VerifyTotals — the generalized
@@ -788,12 +867,18 @@ func (m *machine) process(e *accessEvent) {
 	if ck := m.ck; ck != nil {
 		e.ckID = ck.StartAccess(m.sim.Now())
 	}
+	if pf := m.pf; pf != nil {
+		e.pfID = pf.Start(e.core, m.sim.Now())
+	}
 	paddr := m.spaces[e.app].Translate(e.acc.VAddr, e.core, int(e.acc.DesiredMC))
 
 	// L1.
 	if hit, _ := m.l1s[e.core].Access(paddr); hit {
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageL1, m.sim.Now()+m.cfg.L1Latency)
+		}
+		if pf := m.pf; pf != nil {
+			pf.StageAt(e.pfID, prof.CompL1, m.sim.Now()+m.cfg.L1Latency)
 		}
 		e.stage = stComplete
 		m.sim.ScheduleAfter(m.cfg.L1Latency, e)
@@ -814,12 +899,18 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 	if ck := m.ck; ck != nil {
 		ck.Stage(e.ckID, check.StageL1, t0)
 	}
+	if pf := m.pf; pf != nil {
+		pf.StageAt(e.pfID, prof.CompL1, t0)
+	}
 	line := m.l2s[core].LineAddr(paddr)
 	if hit, evicted := m.l2s[core].Access(paddr); hit {
 		m.res.L2LocalHits++
 		m.l2LocalC.Inc()
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageL2, t0+m.cfg.L2Latency)
+		}
+		if pf := m.pf; pf != nil {
+			pf.StageAt(e.pfID, prof.CompL2, t0+m.cfg.L2Latency)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(t0+m.cfg.L2Latency, e)
@@ -833,6 +924,9 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 	if ck := m.ck; ck != nil {
 		ck.Stage(e.ckID, check.StageL2, t1)
 	}
+	if pf := m.pf; pf != nil {
+		pf.StageAt(e.pfID, prof.CompL2, t1)
+	}
 	mcID := m.spaces[app].MCOf(paddr)
 	mcNode := m.cfg.Mapping.Placement.NodeOf(mcID)
 	coreNode := mesh.CoordOf(core, m.cfg.Machine.MeshX)
@@ -845,16 +939,23 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 		// line to the requester.
 		m.res.OnChipRemote++
 		m.remoteC.Inc()
-		tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OnChip)
+		tArr, reqHops := m.net.Transit(t1, coreNode, mcNode, noc.OnChip)
 		tDir := tArr + m.cfg.DirLatency
 		ownerNode := mesh.CoordOf(owner, m.cfg.Machine.MeshX)
-		tFwd, _ := m.net.Transit(tDir, mcNode, ownerNode, noc.OnChip)
+		tFwd, fwdHops := m.net.Transit(tDir, mcNode, ownerNode, noc.OnChip)
 		tOwn := tFwd + m.cfg.L2Latency
-		tData, _ := m.net.Transit(tOwn, ownerNode, coreNode, noc.OnChip)
+		tData, respHops := m.net.Transit(tOwn, ownerNode, coreNode, noc.OnChip)
 		if ck := m.ck; ck != nil {
 			ck.Stage(e.ckID, check.StageNoCReq, tArr)
 			ck.Stage(e.ckID, check.StageDir, tDir)
 			ck.Stage(e.ckID, check.StageNoCResp, tData)
+		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitReq, t1, tArr, reqHops)
+			pf.StageAt(e.pfID, prof.CompDirLookup, tDir)
+			pf.TransitAt(e.pfID, prof.TransitFwd, tDir, tFwd, fwdHops)
+			pf.StageAt(e.pfID, prof.CompL2, tOwn)
+			pf.TransitAt(e.pfID, prof.TransitResp, tOwn, tData, respHops)
 		}
 		e.stage = stComplete
 		m.sim.Schedule(tData, e)
@@ -870,7 +971,7 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 		nearest := m.cfg.Mapping.Placement.NearestMC(coreNode)
 		nearNode := m.cfg.Mapping.Placement.NodeOf(nearest)
 		m.accessMap[core][nearest].Inc()
-		tArr, _ := m.net.Transit(t1, coreNode, nearNode, noc.OffChip)
+		tArr, hops := m.net.Transit(t1, coreNode, nearNode, noc.OffChip)
 		finish := tArr + m.cfg.DirLatency + m.cfg.DRAM.TRowHit
 		m.res.MemLatency += m.cfg.DRAM.TRowHit
 		m.res.MemServed++
@@ -878,12 +979,17 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 			ck.Stage(e.ckID, check.StageNoCReq, tArr)
 			ck.Stage(e.ckID, check.StageDRAMDone, finish)
 		}
+		if pf := m.pf; pf != nil {
+			pf.TransitAt(e.pfID, prof.TransitReq, t1, tArr, hops)
+			pf.StageAt(e.pfID, prof.CompDirLookup, tArr+m.cfg.DirLatency)
+			pf.DRAMOptimal(e.pfID, finish)
+		}
 		e.stage, e.t, e.mcNode = stPrivOptFinish, finish, nearNode
 		m.sim.Schedule(finish, e)
 		return
 	}
 	m.accessMap[core][mcID].Inc()
-	tArr, _ := m.net.Transit(t1, coreNode, mcNode, noc.OffChip)
+	tArr, hops := m.net.Transit(t1, coreNode, mcNode, noc.OffChip)
 	tDir := tArr + m.cfg.DirLatency
 	e.stage, e.mcID, e.mcNode = stPrivSubmit, mcID, mcNode
 	e.local = mem.LocalAddr(paddr, m.memCfg)
@@ -891,6 +997,10 @@ func (m *machine) processPrivate(e *accessEvent, paddr int64) {
 		ck.Stage(e.ckID, check.StageNoCReq, tArr)
 		ck.Stage(e.ckID, check.StageDir, tDir)
 		ck.AddrOwner(paddr, mcID, e.local)
+	}
+	if pf := m.pf; pf != nil {
+		pf.TransitAt(e.pfID, prof.TransitReq, t1, tArr, hops)
+		pf.StageAt(e.pfID, prof.CompDirLookup, tDir)
 	}
 	m.sim.Schedule(tDir, e)
 }
@@ -924,12 +1034,17 @@ func (m *machine) processShared(e *accessEvent, paddr int64) {
 	e.coreNode, e.homeNode = coreNode, homeNode
 
 	// Path 1: L1 → home bank.
-	tArr, _ := m.net.Transit(t0, coreNode, homeNode, noc.OnChip)
+	tArr, hops := m.net.Transit(t0, coreNode, homeNode, noc.OnChip)
 	tBank := tArr + m.cfg.L2Latency
 	if ck := m.ck; ck != nil {
 		ck.Stage(e.ckID, check.StageL1, t0)
 		ck.Stage(e.ckID, check.StageNoCReq, tArr)
 		ck.Stage(e.ckID, check.StageL2, tBank)
+	}
+	if pf := m.pf; pf != nil {
+		pf.StageAt(e.pfID, prof.CompL1, t0)
+		pf.TransitAt(e.pfID, prof.TransitReq, t0, tArr, hops)
+		pf.StageAt(e.pfID, prof.CompL2, tBank)
 	}
 	if hit, _ := m.l2s[home].Access(paddr); hit {
 		m.res.L2LocalHits++

@@ -52,13 +52,6 @@ func MeanSpeedupRatio(old, new []float64) float64 {
 	return s / float64(len(old))
 }
 
-// GeoMeanSpeedup is a deprecated alias for MeanSpeedupRatio.
-//
-// Deprecated: despite the historical name, this computes an arithmetic
-// mean of ratios, not a geometric mean. Use MeanSpeedupRatio, or GeoMean
-// for a true geometric mean.
-func GeoMeanSpeedup(old, new []float64) float64 { return MeanSpeedupRatio(old, new) }
-
 // GeoMean returns the geometric mean of xs: (Πxᵢ)^(1/n), computed in log
 // space to avoid overflow. It returns 0 for empty input or when any
 // element is non-positive (the geometric mean is undefined there).

@@ -40,10 +40,6 @@ func TestMeanSpeedupRatio(t *testing.T) {
 	if got := MeanSpeedupRatio([]float64{1}, []float64{1, 2}); got != 0 {
 		t.Errorf("length mismatch = %v", got)
 	}
-	// The deprecated alias must keep the historical behavior.
-	if got := GeoMeanSpeedup([]float64{100, 200}, []float64{80, 100}); got != (0.8+0.5)/2 {
-		t.Errorf("GeoMeanSpeedup alias = %v", got)
-	}
 }
 
 func TestGeoMean(t *testing.T) {
