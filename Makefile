@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke profile-smoke fuzz-smoke bench bench-engine clean
+.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke profile-smoke fuzz-smoke bench bench-engine bench-trace clean
 
 ## check: everything CI enforces — vet, formatting, build, tests under -race,
 ## the sequential-vs-parallel determinism gate, the invariant/metamorphic
@@ -49,12 +49,17 @@ validate:
 conservation:
 	$(GO) test -run Conservation -race -count=2 ./internal/sim
 
-## bench-smoke: the allocation-regression gate on the event-kernel hot path.
-## Runs the engine micro-benchmarks briefly and fails if the steady-state
-## dispatch path allocates at all (pinned ceiling: 0 allocs/op).
+## bench-smoke: the allocation-regression gates on the hot paths. Runs the
+## engine micro-benchmarks briefly and fails if the steady-state dispatch
+## path allocates at all (pinned ceiling: 0 allocs/op), then pins the
+## trace-cache hit path — decoding a memoized workload from its delta-encoded
+## blob — to the same ceiling, so cache hits stay allocation-free no matter
+## how the encoding evolves.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='SteadyStateDispatch|ScheduleOnly' -benchtime=100x -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchgate -bench 'SteadyStateDispatchTyped$$|ScheduleOnly$$' -max-allocs 0
+	$(GO) test -run='^$$' -bench='DecodeCacheHit' -benchtime=1000x -benchmem ./internal/tracecache \
+		| $(GO) run ./cmd/benchgate -bench 'DecodeCacheHit$$' -max-allocs 0
 
 ## profile-smoke: the latency-attribution conservation gate — a small
 ## three-way comparison with the profiler attached must attribute every
@@ -79,6 +84,11 @@ bench: bench-engine
 ## and write BENCH_engine.json (see README "Performance" for how to read it).
 bench-engine:
 	$(GO) run ./cmd/benchtab -bench-engine BENCH_engine.json
+
+## bench-trace: time `-exp all` exact vs trace-cached + sampled and write
+## BENCH_trace.json (see README "Performance").
+bench-trace:
+	$(GO) run ./cmd/benchtab -bench-trace BENCH_trace.json
 
 clean:
 	$(GO) clean ./...

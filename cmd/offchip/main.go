@@ -50,6 +50,7 @@ import (
 	"offchip/internal/runner"
 	"offchip/internal/sim"
 	"offchip/internal/stats"
+	"offchip/internal/tracecache"
 	"offchip/internal/workloads"
 )
 
@@ -82,6 +83,8 @@ func run() error {
 	checkRun := flag.Bool("check", false, "attach the invariant checker to every run and fail on any violation")
 	seed := flag.Uint64("seed", 0, "jitter seed; 0 keeps the historical stream of the recorded figures")
 	replay := flag.String("replay", "", "re-run one sweep job from its canonical ID (see benchtab -jobs) and exit")
+	cacheFlag := flag.String("trace-cache", "", `memoize trace generation: "mem" (in-process) or a directory for a persistent cache`)
+	sampleFlag := flag.String("sample", "off", `sampled simulation: off | on | w<windows>f<fraction>u<warmup>r<replicates>`)
 	flag.Parse()
 
 	if *replay != "" {
@@ -201,6 +204,22 @@ func run() error {
 
 	wantProf := *profFlag || *profFolded != "" || *profPprof != ""
 	opt := core.Options{Concurrent: *parallel, Seed: *seed, Check: *checkRun, Prof: wantProf}
+	if *cacheFlag != "" {
+		dir := *cacheFlag
+		if dir == "mem" {
+			dir = "" // in-process only
+		}
+		tc, err := tracecache.New(dir)
+		if err != nil {
+			return err
+		}
+		opt.TraceCache = tc
+	}
+	sampleSpec, err := sim.ParseSampleSpec(*sampleFlag)
+	if err != nil {
+		return err
+	}
+	opt.Sample = sampleSpec
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -275,6 +294,10 @@ func run() error {
 	manifest.Config = map[string]string{
 		"app": bench.Name, "l2": *l2, "mapping": *mapping, "interleave": *interleave,
 		"check": strconv.FormatBool(*checkRun), "prof": strconv.FormatBool(wantProf),
+		"trace-cache": *cacheFlag,
+	}
+	if sampleSpec != nil {
+		manifest.Config["sample"] = sampleSpec.String()
 	}
 
 	c, err := core.Compare(bench, m, cm, opt)
@@ -319,6 +342,31 @@ func run() error {
 	t.AddF("off-chip mem latency", c.Baseline.MemAvg, c.Optimized.MemAvg, c.Optimal.MemAvg, stats.Pct(c.MemImprovement()))
 	t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
 	fmt.Println(t.String())
+
+	if sampleSpec != nil && len(c.Sampled) > 0 {
+		st := &stats.Table{
+			Title:   fmt.Sprintf("sampled simulation (%s): estimates with 95%% bounds", sampleSpec.String()),
+			Headers: []string{"run", "simulated", "of accesses", "exec estimate", "±", "rel"},
+		}
+		for _, run := range []string{"baseline", "optimized", "optimal"} {
+			sr := c.Sampled[run]
+			if sr == nil {
+				continue
+			}
+			mode := "sampled"
+			if sr.Exact {
+				mode = "exact"
+			}
+			st.AddF(run+" ("+mode+")", sr.SimulatedAccesses, sr.FullAccesses,
+				sr.Est.ExecTime.Mean, sr.Est.ExecTime.Half, stats.Pct(sr.Est.ExecTime.RelHalf()))
+		}
+		fmt.Println(st.String())
+	}
+	if opt.TraceCache != nil {
+		cs := opt.TraceCache.Stats()
+		fmt.Fprintf(os.Stderr, "offchip: trace cache: %d hits, %d misses, %d disk hits, %d disk writes\n",
+			cs.Hits, cs.Misses, cs.DiskHits, cs.DiskWrites)
+	}
 
 	if wantProf {
 		liveMu.Lock()

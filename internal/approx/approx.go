@@ -34,7 +34,8 @@ type Profiler struct {
 	// MaxSamples bounds profiling work (DefaultMaxSamples if zero).
 	MaxSamples int
 
-	errs map[*ir.Ref]float64
+	errs    map[*ir.Ref]float64
+	sampled int // iterations profiled by the last Approximate call
 }
 
 // NewProfiler returns a Profiler over the given profiled index contents.
@@ -74,7 +75,9 @@ func (pr *Profiler) Approximate(r *ir.Ref, nest *ir.LoopNest) (*linalg.Mat, bool
 	total := nest.TripCount()
 	stride := int64(1)
 	if total > int64(maxSamples) {
-		stride = total / int64(maxSamples)
+		// Ceiling division: a floor stride collects up to ~2× maxSamples
+		// when total is just under a stride multiple.
+		stride = (total + int64(maxSamples) - 1) / int64(maxSamples)
 	}
 	var iters [][]float64 // sampled iteration vectors (with 1 appended)
 	var coords [][]int64  // touched element coordinates
@@ -97,6 +100,7 @@ func (pr *Profiler) Approximate(r *ir.Ref, nest *ir.LoopNest) (*linalg.Mat, bool
 		k++
 		return true
 	})
+	pr.sampled = len(iters)
 	if len(iters) == 0 {
 		return nil, false
 	}

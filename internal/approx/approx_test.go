@@ -156,6 +156,41 @@ func TestCustomThresholdAndSampling(t *testing.T) {
 	}
 }
 
+func TestSampleStrideBoundary(t *testing.T) {
+	// TripCount = 2·MaxSamples − 1: a floor-division stride degenerates to 1
+	// and profiles all 127 iterations; ceiling division stays within the cap.
+	p := ir.MustParse(`
+program b
+param N = 127
+array x[128]
+array col[127] elem 4
+array y[127]
+
+parfor i = 0 .. N {
+  y[i] = y[i] + x[col[i]]
+}
+`)
+	col := p.Array("col")
+	vals := make([]int64, col.NumElems())
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	store := ir.NewDataStore()
+	store.SetContents(col, vals)
+	pr := NewProfiler(store)
+	pr.MaxSamples = 64
+	r, nest := indexedRef(t, p)
+	if _, ok := pr.Approximate(r, nest); !ok {
+		t.Fatalf("exact affine index pattern rejected (err %.3f)", pr.Err(r))
+	}
+	if pr.sampled > pr.MaxSamples {
+		t.Errorf("profiled %d iterations, cap %d", pr.sampled, pr.MaxSamples)
+	}
+	if pr.sampled < pr.MaxSamples/2 {
+		t.Errorf("profiled only %d iterations for cap %d", pr.sampled, pr.MaxSamples)
+	}
+}
+
 func TestLeastSquares(t *testing.T) {
 	// y = 2a + 3b + 5, exactly.
 	var x [][]float64

@@ -19,6 +19,7 @@ import (
 	"offchip/internal/prof"
 	"offchip/internal/sim"
 	"offchip/internal/trace"
+	"offchip/internal/tracecache"
 	"offchip/internal/workloads"
 )
 
@@ -72,6 +73,18 @@ type Options struct {
 	// the run name is prepended so interleaved runs stay distinguishable.
 	OnProgress    func(run string, p sim.Progress)
 	ProgressEvery int64
+	// TraceCache, when set, memoizes trace generation across runs and jobs
+	// (see internal/tracecache): each per-core stream is generated once per
+	// (program, threads, cap, machine, layout fingerprint) and shared.
+	// Cached streams are byte-identical to freshly generated ones, so the
+	// cache is purely a wall-clock lever. Nil disables caching.
+	TraceCache *tracecache.Cache
+	// Sample, when set, replaces each full simulation with SMARTS-style
+	// sampled simulation over the same traces (see sim.SampleSpec): metrics
+	// become window-extrapolated estimates with confidence bounds, recorded
+	// in Comparison.Sampled. Nil (the default) runs exact full simulations
+	// with bit-identical historical results.
+	Sample *sim.SampleSpec
 }
 
 // Metrics distills one simulation run.
@@ -132,6 +145,11 @@ type Comparison struct {
 
 	// Profiles holds each run's latency attribution (Options.Prof only).
 	Profiles map[string]*prof.Profile
+
+	// Sampled holds each run's sampled-simulation outcome — estimates with
+	// confidence bounds — when Options.Sample was set (nil otherwise). The
+	// Baseline/Optimized/Optimal metrics are then the estimate means.
+	Sampled map[string]*sim.SampledResult
 
 	// Compiler statistics (Table 2).
 	PctArraysOptimized float64
@@ -231,11 +249,13 @@ func Workloads(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, 
 	}
 	tOpt := trace.Options{Threads: opt.Threads, MaxAccessesPerThread: cap}
 	identity := &layout.Result{Program: p, Layouts: map[*ir.Array]*layout.ArrayLayout{}}
-	base, err = trace.Generate(p, identity, m, store, tOpt)
+	// A nil TraceCache degrades to plain trace.Generate (tracecache handles
+	// the nil receiver), so the uncached path is unchanged.
+	base, err = opt.TraceCache.Generate(p, identity, m, store, tOpt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	optim, err = trace.Generate(p, res, m, store, tOpt)
+	optim, err = opt.TraceCache.Generate(p, res, m, store, tOpt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -297,16 +317,24 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 	attach(&idealCfg, "optimal")
 
 	type simJob struct {
-		name string
-		cfg  sim.Config
-		w    *sim.Workload
-		res  *sim.Result
-		err  error
+		name    string
+		cfg     sim.Config
+		w       *sim.Workload
+		res     *sim.Result
+		sampled *sim.SampledResult
+		err     error
 	}
 	jobs := []*simJob{
 		{name: "baseline", cfg: cfg, w: baseW},
 		{name: "optimized", cfg: optCfg, w: optW},
 		{name: "optimal", cfg: idealCfg, w: baseW},
+	}
+	runJob := func(j *simJob) {
+		if opt.Sample != nil {
+			j.sampled, j.err = sim.RunSampled(j.cfg, j.w, *opt.Sample)
+		} else {
+			j.res, j.err = sim.Run(j.cfg, j.w)
+		}
 	}
 	if opt.Concurrent {
 		var wg sync.WaitGroup
@@ -314,13 +342,13 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 			wg.Add(1)
 			go func(j *simJob) {
 				defer wg.Done()
-				j.res, j.err = sim.Run(j.cfg, j.w)
+				runJob(j)
 			}(j)
 		}
 		wg.Wait()
 	} else {
 		for _, j := range jobs {
-			j.res, j.err = sim.Run(j.cfg, j.w)
+			runJob(j)
 		}
 	}
 	for _, j := range jobs {
@@ -328,7 +356,19 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 			return nil, fmt.Errorf("core: %s %s: %w", app.Name, j.name, j.err)
 		}
 	}
-	baseR, optR, idealR := jobs[0].res, jobs[1].res, jobs[2].res
+	distillJob := func(j *simJob) Metrics {
+		if j.sampled != nil {
+			return distillSampled(j.sampled)
+		}
+		return distill(j.res)
+	}
+	var sampled map[string]*sim.SampledResult
+	if opt.Sample != nil {
+		sampled = map[string]*sim.SampledResult{}
+		for _, j := range jobs {
+			sampled[j.name] = j.sampled
+		}
+	}
 
 	var checks map[string][]check.Violation
 	if opt.Check {
@@ -349,13 +389,33 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 		App:                app.Name,
 		Machine:            m,
 		Mapping:            cm.Name,
-		Baseline:           distill(baseR),
-		Optimized:          distill(optR),
-		Optimal:            distill(idealR),
+		Baseline:           distillJob(jobs[0]),
+		Optimized:          distillJob(jobs[1]),
+		Optimal:            distillJob(jobs[2]),
 		Observers:          observers,
 		Checks:             checks,
 		Profiles:           profiles,
+		Sampled:            sampled,
 		PctArraysOptimized: res.PctArraysOptimized(),
 		PctRefsSatisfied:   res.PctRefsSatisfied(),
 	}, nil
+}
+
+// distillSampled projects a sampled run onto Metrics: scalar metrics take
+// the estimate means; the distributional metrics (hop CDFs, the access map)
+// come from the aggregated measured windows.
+func distillSampled(sr *sim.SampledResult) Metrics {
+	return Metrics{
+		ExecTime:      int64(sr.Est.ExecTime.Mean + 0.5),
+		OnChipNetAvg:  sr.Est.OnChipNetAvg.Mean,
+		OffChipNetAvg: sr.Est.OffChipNetAvg.Mean,
+		MemAvg:        sr.Est.MemAvg.Mean,
+		QueueAvg:      sr.Est.QueueAvg.Mean,
+		OffChipShare:  sr.Est.OffChipShare.Mean,
+		AvgQueueOcc:   sr.Est.AvgQueueOcc.Mean,
+		HopCDFOn:      sr.Aggregate.HopCDF[noc.OnChip],
+		HopCDFOff:     sr.Aggregate.HopCDF[noc.OffChip],
+		AccessMap:     sr.Aggregate.AccessMap,
+		AppExecTime:   sr.AppExecTime,
+	}
 }

@@ -168,6 +168,13 @@ type Controller struct {
 	TotalQueueWait  int64 // Σ (service start − arrive)
 	RowHits         int64
 
+	// Plain time-weighted queue-length accumulator. It mirrors the registry
+	// gauge so QueueOccupancy survives runs with a null observer (sampled
+	// quiet windows), which register no metrics at all.
+	qInt  int64
+	qLast int64
+	qCur  int64
+
 	// Registry-backed statistics.
 	servedC    *obs.Counter
 	rowHitC    *obs.Counter
@@ -253,7 +260,7 @@ func (c *Controller) SubmitTo(addr int64, done Completion) {
 	r.bypassed = 0
 	c.Submitted++
 	c.pending = append(c.pending, r)
-	c.queueLen.Set(now, int64(len(c.pending)))
+	c.setQueueLen(now)
 	if c.Probe != nil {
 		c.Probe.Enqueue(c.ID, b, now)
 	}
@@ -284,7 +291,7 @@ func (c *Controller) dispatch() {
 		}
 		r := c.pending[idx]
 		c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
-		c.queueLen.Set(now, int64(len(c.pending)))
+		c.setQueueLen(now)
 
 		var dur int64
 		var outcome string
@@ -361,11 +368,25 @@ func (c *Controller) pick(bank int) int {
 	return hit
 }
 
-// QueueOccupancy returns the time-averaged queue length over [0, until]:
-// the bank queue utilization of Figure 18, read from the registry's
-// time-weighted gauge.
+// setQueueLen folds the elapsed interval at the previous queue length into
+// the plain accumulator and mirrors the new length into the registry gauge.
+func (c *Controller) setQueueLen(now int64) {
+	n := int64(len(c.pending))
+	c.qInt += c.qCur * (now - c.qLast)
+	c.qLast = now
+	c.qCur = n
+	c.queueLen.Set(now, n)
+}
+
+// QueueOccupancy returns the time-averaged queue length over [0, until]
+// (the bank queue utilization of Figure 18), extending the last recorded
+// length to until. It reads the controller's own accumulator, not the
+// registry gauge, so it holds under a null observer.
 func (c *Controller) QueueOccupancy(until int64) float64 {
-	return c.queueLen.Avg(until)
+	if until <= 0 {
+		return 0
+	}
+	return float64(c.qInt+c.qCur*(until-c.qLast)) / float64(until)
 }
 
 // BankServed returns the number of requests the bank has completed.

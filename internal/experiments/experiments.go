@@ -14,6 +14,7 @@ import (
 	"offchip/internal/layout"
 	"offchip/internal/runner"
 	"offchip/internal/stats"
+	"offchip/internal/tracecache"
 	"offchip/internal/workloads"
 )
 
@@ -36,6 +37,18 @@ type Config struct {
 	// (observation only — job IDs and results are unchanged); per-run
 	// profiles land on each JobOutcome.Profiles.
 	Prof bool
+	// TraceCache memoizes trace generation across every job and experiment
+	// sharing this config (see internal/tracecache). Wall-clock only: cached
+	// streams are byte-identical to freshly generated ones, and job IDs are
+	// unchanged.
+	TraceCache *tracecache.Cache
+	// Sample enables sampled simulation for the job-sharded experiments:
+	// "" runs exact full simulations (the historical results), "on" the
+	// default sim.SampleSpec, or a compact spec like "w4f0.1u1r1".
+	// Sampling is part of each job's identity (the ID gains a sample=
+	// field). The sequential multiprogrammed experiments (Fig25) always run
+	// exact.
+	Sample string
 }
 
 func (c Config) apps() ([]*workloads.App, error) {
@@ -54,7 +67,7 @@ func (c Config) apps() ([]*workloads.App, error) {
 }
 
 func (c Config) coreOpts() core.Options {
-	return core.Options{MaxAccessesPerThread: c.MaxAccessesPerThread, Seed: c.Seed}
+	return core.Options{MaxAccessesPerThread: c.MaxAccessesPerThread, Seed: c.Seed, TraceCache: c.TraceCache}
 }
 
 // spec starts a job spec carrying the config-wide knobs. Callers fill in
@@ -62,7 +75,10 @@ func (c Config) coreOpts() core.Options {
 // (never maps), so a suite's job list — and therefore its job IDs — is
 // stable across runs.
 func (c Config) spec(mode runner.Mode, app string) runner.JobSpec {
-	return runner.JobSpec{Mode: mode, App: app, Cap: c.MaxAccessesPerThread, Seed: c.Seed, Prof: c.Prof}
+	return runner.JobSpec{
+		Mode: mode, App: app, Cap: c.MaxAccessesPerThread, Seed: c.Seed,
+		Sample: c.Sample, Prof: c.Prof, Cache: c.TraceCache,
+	}
 }
 
 // runJobs shards the specs across c.Parallel workers and fails on the
@@ -221,6 +237,8 @@ func execSuite(cfg Config, id, title string, variants []variant) (*FigResult, er
 			s.App = app.Name
 			s.Cap = cfg.MaxAccessesPerThread
 			s.Seed = cfg.Seed
+			s.Sample = cfg.Sample
+			s.Cache = cfg.TraceCache
 			specs = append(specs, s)
 		}
 	}

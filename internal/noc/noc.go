@@ -241,6 +241,11 @@ func (n *Network) AvgHops(class Class) float64 {
 // from the registry histogram.
 func (n *Network) HopCDF(class Class) []float64 {
 	cdf := n.hopHist[class].CDF()
+	if len(cdf) == 0 {
+		// Under a null observer (quiet sampled-window runs) the histogram
+		// was never registered; there is no distribution to render.
+		return nil
+	}
 	// The histogram carries an overflow bucket beyond the 0..maxHops
 	// bounds; XY routing can never exceed the mesh diameter, so fold it
 	// away to preserve the historical shape (one entry per hop count).

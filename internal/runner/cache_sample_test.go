@@ -1,0 +1,201 @@
+package runner
+
+// Differential no-change guarantees for the trace cache and the sampling
+// knob: attaching a Cache must not move a single byte of any outcome, and a
+// spec with no Sample renders exactly the historical job ID, so every
+// recorded figure and replay handle stays valid.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"offchip/internal/tracecache"
+)
+
+// TestCacheDoesNotChangeOutcomes runs the heterogeneous sweep twice — cold,
+// then with a shared in-process cache — and demands byte-identical canonical
+// outcomes, plus evidence the cache was actually exercised.
+func TestCacheDoesNotChangeOutcomes(t *testing.T) {
+	// The heterogeneous sweep plus seed variants: the jitter seed is not a
+	// trace input, so reseeded jobs must share cached streams.
+	specs := append(testSpecs(),
+		JobSpec{Mode: ModeCompare, App: "apsi", Cap: 100, Seed: 7},
+		JobSpec{Mode: ModeBaseline, App: "gafort", Cap: 100, Seed: 9},
+	)
+	plain, err := Run(specs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := tracecache.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := make([]JobSpec, len(specs))
+	for i, s := range specs {
+		s.Cache = cache
+		cached[i] = s
+	}
+	withCache, err := Run(cached, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := withCache.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got, want := cached[i].ID(), specs[i].ID(); got != want {
+			t.Errorf("cache changed job ID: %s != %s", got, want)
+		}
+		a, err := plain.Outcomes[i].CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := withCache.Outcomes[i].CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %s: cached outcome differs from uncached\nplain:  %s\ncached: %s",
+				specs[i].ID(), a, b)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses == 0 {
+		t.Error("cache saw no generation at all")
+	}
+	// The sweep shares keys across jobs (two compare jobs on apsi/default,
+	// and every compare's baseline stream doubles as its optimal input), so
+	// there must be real sharing, not just pass-through.
+	if st.Hits == 0 {
+		t.Errorf("cache saw no hits across the sweep: %+v", st)
+	}
+}
+
+// TestSampleAbsentFromHistoricalIDs: with no Sample, IDs render without a
+// sample= field — bit-compatible with every ID recorded before sampling
+// existed — and the Cache pointer never appears in identity at all.
+func TestSampleAbsentFromHistoricalIDs(t *testing.T) {
+	s := JobSpec{App: "apsi", Cap: 100}
+	if id := s.ID(); strings.Contains(id, "sample") {
+		t.Errorf("unsampled ID %q mentions sampling", id)
+	}
+	cache, err := tracecache.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache := s
+	withCache.Cache = cache
+	if withCache.ID() != s.ID() {
+		t.Errorf("cache pointer leaked into the job ID: %s != %s", withCache.ID(), s.ID())
+	}
+	// "off" is the explicit spelling of no sampling; it normalizes away.
+	off := s
+	off.Sample = "off"
+	if off.Normalized().Sample != "" || off.ID() != s.ID() {
+		t.Errorf("Sample=off did not normalize to the historical ID: %s", off.ID())
+	}
+}
+
+// TestSampleFieldRoundTrip: sampled IDs carry the canonical spec string and
+// survive ParseJobID; malformed specs fail at Build with a clear error.
+func TestSampleFieldRoundTrip(t *testing.T) {
+	s := JobSpec{App: "apsi", Cap: 100, Sample: "on"}
+	n := s.Normalized()
+	if n.Sample != "w4f0.1u1r1" {
+		t.Errorf("Sample=on normalized to %q", n.Sample)
+	}
+	id := s.ID()
+	if !strings.Contains(id, "sample=w4f0.1u1r1") {
+		t.Errorf("sampled ID %q lacks the canonical sample field", id)
+	}
+	got, err := ParseJobID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, n)
+	}
+	if _, err := ParseJobID("j1:app=apsi,sample=bogus"); err == nil {
+		t.Error("malformed sample spec accepted in an ID")
+	}
+	bad := JobSpec{App: "apsi", Sample: "wXf1u1r1"}
+	if _, _, _, err := bad.Normalized().Build(); err == nil {
+		t.Error("Build accepted an unparseable sample spec")
+	}
+}
+
+// TestSampledJobOutcomes: a sampled compare carries three per-run sampled
+// results; sampled baseline/optimized jobs surface the aggregate as Run and
+// the extrapolated exec time as the merge horizon.
+func TestSampledJobOutcomes(t *testing.T) {
+	specs := []JobSpec{
+		{Mode: ModeCompare, App: "apsi", Cap: 600, Sample: "on"},
+		{Mode: ModeBaseline, App: "apsi", Cap: 600, Sample: "on"},
+	}
+	res, err := Run(specs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	cmp := res.Outcomes[0]
+	for _, run := range []string{"baseline", "optimized", "optimal"} {
+		sr := cmp.Sampled[run]
+		if sr == nil {
+			t.Fatalf("compare outcome lacks sampled result for %q", run)
+		}
+		if sr.Exact {
+			t.Errorf("%s: cap 600 should sample, not cover", run)
+		}
+		if sr.Est.ExecTime.Mean <= 0 || sr.Est.ExecTime.Half <= 0 {
+			t.Errorf("%s: degenerate exec bound %+v", run, sr.Est.ExecTime)
+		}
+	}
+	if cmp.Comparison == nil || cmp.Comparison.Baseline.ExecTime <= 0 {
+		t.Error("sampled compare produced no distilled metrics")
+	}
+	base := res.Outcomes[1]
+	sr := base.Sampled["baseline"]
+	if sr == nil || base.Run == nil {
+		t.Fatal("sampled baseline outcome incomplete")
+	}
+	if base.Run != sr.Aggregate {
+		t.Error("baseline Run is not the sampled aggregate")
+	}
+	if want := int64(sr.Est.ExecTime.Mean + 0.5); base.ExecTimes["baseline"] != want {
+		t.Errorf("merge horizon %d, want extrapolated %d", base.ExecTimes["baseline"], want)
+	}
+}
+
+// TestSampledReplayDeterminism: a sampled job replayed from its ID alone
+// reproduces the sweep outcome byte for byte.
+func TestSampledReplayDeterminism(t *testing.T) {
+	spec := JobSpec{Mode: ModeCompare, App: "gafort", Cap: 600, Sample: "on"}
+	res, err := Run([]JobSpec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(spec.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.Outcomes[0].CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayed.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("sampled replay differs from sweep:\nsweep:  %s\nreplay: %s", want, got)
+	}
+}

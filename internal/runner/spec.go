@@ -21,6 +21,7 @@ import (
 	"offchip/internal/obs"
 	"offchip/internal/prof"
 	"offchip/internal/sim"
+	"offchip/internal/tracecache"
 	"offchip/internal/workloads"
 )
 
@@ -59,11 +60,25 @@ type JobSpec struct {
 	Cap        int    // MaxAccessesPerThread (0: full traces)
 	Seed       uint64 // sweep seed; 0 keeps the historical jitter stream
 
+	// Sample enables sampled simulation: "" (or "off") runs exact full
+	// simulations, "on" the default sim.SampleSpec, and a compact spec
+	// ("w4f0.1u1r1") a custom one. Sampling changes results (estimates
+	// instead of exact metrics), so unlike Prof it IS part of the job
+	// identity — the ID gains a sample= field exactly when Sample is set,
+	// and IDs without one keep their historical form.
+	Sample string
+
 	// Prof attaches the latency-attribution profiler to the job's runs and
 	// fills JobOutcome.Profiles. Pure observation: it is deliberately
 	// excluded from ID/ParseJobID so profiling a job never changes its
 	// identity, seed derivation, or replayed results.
 	Prof bool
+
+	// Cache, when set, memoizes trace generation across the sweep's jobs
+	// (see internal/tracecache). Cached streams are byte-identical to
+	// freshly generated ones, so like Prof it is excluded from the ID —
+	// caching never changes a job's identity or results.
+	Cache *tracecache.Cache
 }
 
 // Normalized returns the spec with every defaulted field made explicit.
@@ -95,6 +110,18 @@ func (s JobSpec) Normalized() JobSpec {
 	if s.Policy == "" {
 		s.Policy = "interleaved"
 	}
+	if s.Sample != "" {
+		// Canonicalize ("on" → the default spec's compact form, "off" → "")
+		// so equal sampling configurations always render equal IDs. An
+		// unparseable spec is left verbatim; Build reports the error.
+		if sp, err := sim.ParseSampleSpec(s.Sample); err == nil {
+			if sp == nil {
+				s.Sample = ""
+			} else {
+				s.Sample = sp.String()
+			}
+		}
+	}
 	return s
 }
 
@@ -102,11 +129,17 @@ func (s JobSpec) Normalized() JobSpec {
 // that normalize equal have equal IDs; ParseJobID inverts it exactly.
 func (s JobSpec) ID() string {
 	n := s.Normalized()
-	return fmt.Sprintf(
+	id := fmt.Sprintf(
 		"j1:mode=%s,app=%s,l2=%s,il=%s,map=%s,place=%s,mesh=%dx%d,mcs=%d,threads=%d,banks=%d,mlp=%d,pol=%s,cap=%d,seed=%d",
 		n.Mode, n.App, n.L2, n.Interleave, n.Mapping, n.Placement,
 		n.MeshX, n.MeshY, n.NumMCs, n.Threads, n.BanksPerMC, n.MLPWindow,
 		n.Policy, n.Cap, n.Seed)
+	if n.Sample != "" {
+		// Appended only when set, so every pre-sampling job ID (and every
+		// recorded replay handle) is unchanged.
+		id += ",sample=" + n.Sample
+	}
+	return id
 }
 
 // ShortID is a compact fingerprint of the ID, used as the job=… label in
@@ -165,6 +198,10 @@ func ParseJobID(id string) (JobSpec, error) {
 			s.Cap, err = strconv.Atoi(v)
 		case "seed":
 			s.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "sample":
+			if _, err = sim.ParseSampleSpec(v); err == nil {
+				s.Sample = v
+			}
 		default:
 			return s, fmt.Errorf("runner: unknown job ID field %q", k)
 		}
@@ -267,6 +304,14 @@ func (s JobSpec) Build() (layout.Machine, *layout.ClusterMapping, core.Options, 
 		MLPWindow:            n.MLPWindow,
 		BanksPerMC:           n.BanksPerMC,
 		Seed:                 n.simSeed(),
+		TraceCache:           s.Cache,
+	}
+	if n.Sample != "" {
+		sp, err := sim.ParseSampleSpec(n.Sample)
+		if err != nil {
+			return m, nil, opt, fmt.Errorf("runner: %w", err)
+		}
+		opt.Sample = sp
 	}
 	switch n.Policy {
 	case "interleaved":
@@ -295,6 +340,10 @@ type JobOutcome struct {
 	Observers  map[string]*obs.Observer // run name → observer
 	ExecTimes  map[string]int64         // run name → ExecTime (merge horizon)
 	Profiles   map[string]*prof.Profile // run name → attribution (Spec.Prof only)
+
+	// Sampled carries each run's sampled-simulation outcome (estimates with
+	// confidence bounds) when Spec.Sample was set.
+	Sampled map[string]*sim.SampledResult
 
 	Err    error
 	Worker int   // which worker executed the job (not deterministic)
@@ -378,6 +427,7 @@ func (s JobSpec) execute() (out *JobOutcome) {
 			"optimal":   c.Optimal.ExecTime,
 		}
 		out.Profiles = c.Profiles
+		out.Sampled = c.Sampled
 	case ModeBaseline, ModeOptimized:
 		baseW, optW, _, err := core.Workloads(app, m, cm, opt)
 		if err != nil {
@@ -403,6 +453,24 @@ func (s JobSpec) execute() (out *JobOutcome) {
 		if n.Prof {
 			pf = prof.New()
 			cfg.Prof = pf
+		}
+		if opt.Sample != nil {
+			// Sampled single-run mode: Run carries the aggregate of the
+			// measured windows (a deterministic projection), Sampled the
+			// estimates and bounds.
+			sr, err := sim.RunSampled(cfg, w, *opt.Sample)
+			if err != nil {
+				out.Err = err
+				return out
+			}
+			out.Run = sr.Aggregate
+			out.Sampled = map[string]*sim.SampledResult{run: sr}
+			out.Observers[run] = o
+			out.ExecTimes[run] = int64(sr.Est.ExecTime.Mean + 0.5)
+			if pf != nil {
+				out.Profiles = map[string]*prof.Profile{run: pf.Profile()}
+			}
+			return out
 		}
 		r, err := sim.Run(cfg, w)
 		if err != nil {

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"offchip/internal/check"
+	"offchip/internal/layout"
+)
+
+func TestParseSampleSpec(t *testing.T) {
+	for _, s := range []string{"", "off"} {
+		sp, err := ParseSampleSpec(s)
+		if err != nil || sp != nil {
+			t.Errorf("ParseSampleSpec(%q) = %v, %v; want nil, nil", s, sp, err)
+		}
+	}
+	sp, err := ParseSampleSpec("on")
+	if err != nil || sp == nil || *sp != DefaultSampleSpec() {
+		t.Fatalf("ParseSampleSpec(on) = %v, %v; want defaults", sp, err)
+	}
+	manual, err := ParseSampleSpec("w4f0.2u0.5r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SampleSpec{Windows: 4, Fraction: 0.2, WarmupFrac: 0.5, Replicates: 2}
+	if *manual != want {
+		t.Errorf("manual spec = %+v, want %+v", *manual, want)
+	}
+	// The canonical string round-trips: parse → String → parse is a fixpoint,
+	// so job IDs can embed it verbatim.
+	again, err := ParseSampleSpec(manual.String())
+	if err != nil || *again != *manual {
+		t.Errorf("round trip %q → %+v, %v", manual.String(), again, err)
+	}
+	if got := DefaultSampleSpec().String(); got != "w4f0.1u1r1" {
+		t.Errorf("default spec renders %q", got)
+	}
+
+	for _, bad := range []string{
+		"x", "w4", "w4f0.2", "w4f0.2u0.5", "wXf0.2u0.5r1", "w4fYu0.5r1",
+		"w4f0.2uZr1", "w4f0.2u0.5rW", "w4f1.5u0.5r1", // fraction > 1
+	} {
+		if sp, err := ParseSampleSpec(bad); err == nil {
+			t.Errorf("ParseSampleSpec(%q) accepted: %+v", bad, sp)
+		}
+	}
+}
+
+// TestStreamWindowBounds: for any stream length the window slice must stay in
+// bounds, have the promised measured length, and report covered exactly when
+// warmup + window span the stream.
+func TestStreamWindowBounds(t *testing.T) {
+	spec := DefaultSampleSpec()
+	for _, n := range []int{1, 2, 5, 17, 100, 1000, 12345} {
+		for rep := 0; rep < 2; rep++ {
+			for win := 0; win < spec.Windows; win++ {
+				start, warm, wlen, covered := spec.streamWindow(n, rep, win)
+				if start < 0 || warm < 0 || wlen < 1 || start+warm+wlen > n {
+					t.Fatalf("n=%d r%dw%d: slice [%d, +%d+%d) out of bounds", n, rep, win, start, warm, wlen)
+				}
+				if covered != (warm+wlen >= n) {
+					t.Errorf("n=%d r%dw%d: covered=%v with warm=%d wlen=%d", n, rep, win, covered, warm, wlen)
+				}
+				if covered && (start != 0 || wlen != n) {
+					t.Errorf("n=%d r%dw%d: covered window is [%d, +%d), want the whole stream", n, rep, win, start, wlen)
+				}
+			}
+		}
+	}
+}
+
+// TestSliceStreamPhases: phase markers are remapped into the slice and
+// clamped at its edges, preserving monotonicity for the page allocator.
+func TestSliceStreamPhases(t *testing.T) {
+	st := &Stream{
+		Core:   5,
+		AppID:  1,
+		Phases: []int{0, 3, 8, 10},
+		Accesses: []Access{
+			{VAddr: 0}, {VAddr: 64}, {VAddr: 128}, {VAddr: 192}, {VAddr: 256},
+			{VAddr: 320}, {VAddr: 384}, {VAddr: 448}, {VAddr: 512}, {VAddr: 576},
+		},
+	}
+	out := sliceStream(st, 2, 4) // accesses [2, 6)
+	if out.Core != 5 || out.AppID != 1 {
+		t.Errorf("header not copied: %+v", out)
+	}
+	if len(out.Accesses) != 4 || out.Accesses[0].VAddr != 128 {
+		t.Errorf("accesses = %+v", out.Accesses)
+	}
+	// 0→0 (clamped up), 3→1, 8→4 (clamped down), 10→4.
+	if want := []int{0, 1, 4, 4}; !reflect.DeepEqual(out.Phases, want) {
+		t.Errorf("phases = %v, want %v", out.Phases, want)
+	}
+	// The slice aliases the source; appending to it must not be possible
+	// without reallocating (full-capacity subslice).
+	if cap(out.Accesses) != len(out.Accesses) {
+		t.Errorf("access slice not capacity-clamped: len %d cap %d", len(out.Accesses), cap(out.Accesses))
+	}
+}
+
+// sampleWorkload builds a deterministic multi-stream workload large enough
+// that the default spec actually samples (does not cover it).
+func sampleWorkload(cores, perCore int) *Workload {
+	w := &Workload{Name: "sampled"}
+	for c := 0; c < cores; c++ {
+		st := Stream{Core: c, Phases: []int{0, perCore / 4, perCore / 2, 3 * perCore / 4}}
+		for i := 0; i < perCore; i++ {
+			// Strided walk with a per-core offset: a stationary stream with
+			// plenty of misses, like the array sweeps the generator emits.
+			st.Accesses = append(st.Accesses, Access{
+				VAddr:     int64(c)*(1<<16) + int64(i)*64%(1<<14),
+				DesiredMC: -1,
+			})
+		}
+		w.Streams = append(w.Streams, st)
+	}
+	return w
+}
+
+// TestRunSampledExactTinyWorkload: when the windows would cover every stream,
+// RunSampled degenerates to one full run with zero-width bounds.
+func TestRunSampledExactTinyWorkload(t *testing.T) {
+	cfg := testConfig(t)
+	w := oneAccess(0, 0)
+	full, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Exact {
+		t.Fatal("one-access workload not recognized as exact")
+	}
+	if sr.Est.ExecTime.Half != 0 || sr.Est.ExecTime.Mean != float64(full.ExecTime) {
+		t.Errorf("exact estimate %+v, want exactly %d", sr.Est.ExecTime, full.ExecTime)
+	}
+	if sr.Aggregate.ExecTime != full.ExecTime || len(sr.SpanResults) != 1 {
+		t.Errorf("exact path did not return the full run verbatim")
+	}
+	if sr.MeasuredAccesses != sr.FullAccesses || sr.SimulatedAccesses != sr.FullAccesses {
+		t.Errorf("exact accounting %d/%d measured/simulated, want %d", sr.MeasuredAccesses, sr.SimulatedAccesses, sr.FullAccesses)
+	}
+}
+
+// TestRunSampledConservation: every span window is a complete drained
+// simulation, so the conservation identities hold pairwise — the satellite's
+// "sampled totals pass check.VerifyTotals on the measured windows".
+func TestRunSampledConservation(t *testing.T) {
+	cfg := testConfig(t)
+	w := sampleWorkload(16, 2000)
+	sr, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Exact {
+		t.Fatal("workload too small: exact fallback means the test exercises nothing")
+	}
+	if len(sr.SpanResults) != 4 || len(sr.SpanWorkloads) != 4 {
+		t.Fatalf("got %d span runs, want 4", len(sr.SpanResults))
+	}
+	for i, r := range sr.SpanResults {
+		for _, v := range check.VerifyTotals(r.Totals(sr.SpanWorkloads[i], &cfg)) {
+			t.Errorf("window %d: %s", i, v)
+		}
+	}
+	if sr.MeasuredAccesses <= 0 || sr.MeasuredAccesses >= sr.FullAccesses {
+		t.Errorf("measured %d of %d accesses", sr.MeasuredAccesses, sr.FullAccesses)
+	}
+	// Default spec: 10% measured + 10% warmup simulated twice + the
+	// half-warmup control ≈ 35%.
+	if frac := float64(sr.SimulatedAccesses) / float64(sr.FullAccesses); frac > 0.4 {
+		t.Errorf("simulated %.0f%% of the workload — sampling is not buying wall clock", 100*frac)
+	}
+}
+
+// TestRunSampledDeterminism: sampling is as deterministic as the simulator —
+// two runs produce bit-identical estimates.
+func TestRunSampledDeterminism(t *testing.T) {
+	cfg := testConfig(t)
+	w := sampleWorkload(8, 1500)
+	a, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Est, b.Est) {
+		t.Errorf("estimates differ across identical runs:\n%+v\n%+v", a.Est, b.Est)
+	}
+	if a.MeasuredAccesses != b.MeasuredAccesses || a.Aggregate.ExecTime != b.Aggregate.ExecTime {
+		t.Errorf("accounting differs across identical runs")
+	}
+}
+
+// TestWarmMemoRestoreEqualsReplay: the snapshot-restore fast path of warm
+// state (page tables via PageMemo, caches/directory via the per-WarmState
+// memo) must be indistinguishable from re-walking preTouch and replaying
+// CacheStreams — the estimator's span − warm subtraction relies on the
+// three runs of a window starting from identical machine state.
+func TestWarmMemoRestoreEqualsReplay(t *testing.T) {
+	cfg := testConfig(t)
+	// Page interleaving so the run preTouches and the PageMemo layer is
+	// exercised alongside the cache/directory memo.
+	cfg.Machine.Interleave = layout.PageInterleave
+	w := sampleWorkload(8, 1500)
+	spec := DefaultSampleSpec()
+
+	// Replay path: fresh WarmState (and no PageMemo) per run.
+	span1, _, _ := spec.windowWorkloads(w, 0, 1, 512, nil)
+	fresh, err := Run(cfg, span1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Memoized path: the first run replays and captures, the second restores.
+	span2, _, _ := spec.windowWorkloads(w, 0, 1, 512, &PageMemo{})
+	if _, err := Run(cfg, span2); err != nil {
+		t.Fatal(err)
+	}
+	if span2.Warm.memo == nil || span2.Warm.Pages.spaces == nil {
+		t.Fatal("first run did not capture the warm snapshots")
+	}
+	restored, err := Run(cfg, span2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, restored) {
+		t.Errorf("restored-warm run differs from replayed-warm run:\n%+v\n%+v", fresh, restored)
+	}
+}
+
+// TestRunSampledBoundsCoverFullRun: on a stationary workload the full run's
+// headline metrics land inside the stated confidence bounds.
+func TestRunSampledBoundsCoverFullRun(t *testing.T) {
+	cfg := testConfig(t)
+	w := sampleWorkload(16, 2000)
+	full, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		b    Bound
+		x    float64
+	}{
+		{"ExecTime", sr.Est.ExecTime, float64(full.ExecTime)},
+		{"OffChipShare", sr.Est.OffChipShare, full.OffChipShare()},
+		{"MemAvg", sr.Est.MemAvg, full.AvgMemLatency()},
+	}
+	for _, c := range checks {
+		if !c.b.Within(c.x) {
+			t.Errorf("%s: full run %.4g outside %.4g ± %.4g", c.name, c.x, c.b.Mean, c.b.Half)
+		}
+	}
+	if rel := sr.Est.ExecTime.RelHalf(); rel < boundRelFloor-1e-12 {
+		t.Errorf("ExecTime bound %.3f narrower than the stated floor %.2f", rel, boundRelFloor)
+	}
+}
+
+// TestMetricSamplesBound: the t-bound math on a known sample set, and the
+// relative floor taking over when the variance is tiny.
+func TestMetricSamplesBound(t *testing.T) {
+	var m metricSamples
+	for _, x := range []float64{10, 14, 6, 10} {
+		m.add(x)
+	}
+	b := m.bound()
+	if b.Mean != 10 {
+		t.Errorf("mean = %v, want 10", b.Mean)
+	}
+	// sd = sqrt(32/3), stderr = sd/2, t(3) = 3.18 → half ≈ 5.19; the floor
+	// 0.3·10 = 3 is smaller, so the t-bound wins.
+	want := 3.18 * math.Sqrt(32.0/3.0) / 2
+	if math.Abs(b.Half-want) > 1e-9 {
+		t.Errorf("half = %v, want %v", b.Half, want)
+	}
+	var c metricSamples
+	for i := 0; i < 8; i++ {
+		c.add(100)
+	}
+	if b := c.bound(); b.Half != boundRelFloor*100 {
+		t.Errorf("zero-variance half = %v, want the %v floor", b.Half, boundRelFloor*100)
+	}
+	if (metricSamples{}).xs != nil {
+		t.Fatal("zero value not empty")
+	}
+}
+
+// TestAggregateWeighting: aggregate sums counters and weights the CDFs by
+// messages and occupancies by time.
+func TestAggregateWeighting(t *testing.T) {
+	a := &Result{ExecTime: 100, Total: 10, AvgQueueOcc: 2, QueueOcc: []float64{2, 0}}
+	a.NetMsgs[0] = 10
+	a.HopCDF[0] = []float64{0.5, 1}
+	b := &Result{ExecTime: 300, Total: 30, AvgQueueOcc: 4, QueueOcc: []float64{4, 0}}
+	b.NetMsgs[0] = 30
+	b.HopCDF[0] = []float64{0.9, 1}
+	agg := aggregate([]*Result{a, b})
+	if agg.ExecTime != 400 || agg.Total != 40 || agg.NetMsgs[0] != 40 {
+		t.Errorf("sums wrong: %+v", agg)
+	}
+	// Occupancy: (2·100 + 4·300)/400 = 3.5, time-weighted.
+	if math.Abs(agg.AvgQueueOcc-3.5) > 1e-12 || math.Abs(agg.QueueOcc[0]-3.5) > 1e-12 {
+		t.Errorf("occupancy = %v / %v, want 3.5", agg.AvgQueueOcc, agg.QueueOcc[0])
+	}
+	// CDF bin 0: 0.25·0.5 + 0.75·0.9 = 0.8, message-weighted.
+	if math.Abs(agg.HopCDF[0][0]-0.8) > 1e-12 || math.Abs(agg.HopCDF[0][1]-1) > 1e-12 {
+		t.Errorf("CDF = %v", agg.HopCDF[0])
+	}
+}
+
+// TestSubClamps: counter differences clamp at zero (FR-FCFS may reorder
+// across the warmup cut, making tiny negative deltas possible).
+func TestSubClamps(t *testing.T) {
+	if sub(5, 3) != 2 || sub(3, 5) != 0 || sub(4, 4) != 0 {
+		t.Error("sub misbehaves")
+	}
+}

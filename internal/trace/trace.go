@@ -71,7 +71,10 @@ func Generate(p *ir.Program, res *layout.Result, m layout.Machine, store *ir.Dat
 		for _, nest := range p.Nests {
 			stream.Phases = append(stream.Phases, len(stream.Accesses))
 			if budget <= 0 {
-				break
+				// Budget exhausted: the nest contributes no accesses, but
+				// every nest still gets its marker so phase indices agree
+				// across streams whose budgets ran out at different points.
+				continue
 			}
 			nestBudget := budget / remainingNests(p, nest)
 			if nestBudget == 0 {
@@ -107,6 +110,9 @@ func Generate(p *ir.Program, res *layout.Result, m layout.Machine, store *ir.Dat
 				k++
 				for _, s := range nest.Body {
 					for _, r := range s.Refs() {
+						if len(stream.Accesses) >= maxAcc {
+							return false
+						}
 						al := res.Layout(r.Array)
 						coord := ir.EvalRef(r, env, store)
 						off := al.Offset(coord)

@@ -90,6 +90,79 @@ func TestGenerateCapsAndSamples(t *testing.T) {
 	}
 }
 
+const multiNestSrc = `
+program multi
+array A[32][32]
+array B[32][32]
+array C[32][32]
+
+parfor i = 0 .. 32 {
+  for j = 0 .. 32 {
+    A[i][j] = B[i][j] + C[i][j]
+  }
+}
+
+parfor i = 0 .. 32 {
+  for j = 0 .. 32 {
+    B[i][j] = A[i][j]
+  }
+}
+
+parfor i = 0 .. 32 {
+  for j = 0 .. 32 {
+    C[i][j] = C[i][j] + A[i][j]
+  }
+}
+`
+
+func TestPhaseMarkerPerNestTinyBudget(t *testing.T) {
+	// Even when a thread's access budget runs out early, every nest must
+	// still get a phase marker, so phase indices agree across streams whose
+	// budgets ran out at different points — and the cap is exact: a stream
+	// must never exceed MaxAccessesPerThread, not even by refsPerIter−1.
+	m := machine()
+	p, res := optimize(t, m, multiNestSrc)
+	for _, cap := range []int{1, 2, 4, 7, 10} {
+		w, err := Generate(p, res, m, nil, Options{MaxAccessesPerThread: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range w.Streams {
+			if len(s.Phases) != len(p.Nests) {
+				t.Fatalf("cap %d: stream %d has %d phase markers, want %d (one per nest)",
+					cap, i, len(s.Phases), len(p.Nests))
+			}
+			if len(s.Accesses) > cap {
+				t.Errorf("cap %d: stream %d has %d accesses", cap, i, len(s.Accesses))
+			}
+			prev := 0
+			for n, ph := range s.Phases {
+				if ph < prev || ph > len(s.Accesses) {
+					t.Errorf("cap %d: stream %d phase %d marker %d out of order (prev %d, accesses %d)",
+						cap, i, n, ph, prev, len(s.Accesses))
+				}
+				prev = ph
+			}
+		}
+	}
+}
+
+func TestCapExactWithMultipleRefsPerIter(t *testing.T) {
+	// Three refs per iteration and a cap that is not a multiple of three:
+	// the clamp must hit mid-iteration instead of overshooting.
+	m := machine()
+	p, res := optimize(t, m, multiNestSrc)
+	w, err := Generate(p, res, m, nil, Options{MaxAccessesPerThread: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.Streams {
+		if len(s.Accesses) > 100 {
+			t.Errorf("stream %d has %d accesses, cap 100", i, len(s.Accesses))
+		}
+	}
+}
+
 func TestThreadsOptionAndBinding(t *testing.T) {
 	m := machine()
 	p, res := optimize(t, m, src)

@@ -1,0 +1,241 @@
+package tracecache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"offchip/internal/sim"
+)
+
+// The on-disk and in-memory wire format, version 1:
+//
+//	magic "OTC1"
+//	uvarint keyHash            (integrity: must match the requested key)
+//	uvarint len(name), name
+//	uvarint nStreams
+//	uvarint totalAccesses      (Σ over streams — lets a decoder size buffers once)
+//	uvarint totalPhases
+//	per stream:
+//	  uvarint core, uvarint appID
+//	  uvarint nPhases, phase markers as uvarint deltas
+//	  uvarint nAccesses
+//	  VAddrs as zigzag-varint deltas from the previous access's VAddr
+//	  DesiredMC as run-length pairs: uvarint runLen, 1 byte value
+//
+// Per-core streams walk arrays with mostly constant strides, so address
+// deltas are small and repetitive, and DesiredMC changes only at layout
+// row-group boundaries — the two properties the delta + RLE coding exploits.
+const magic = "OTC1"
+
+// Encode serializes a workload into the delta-encoded binary form.
+// keyHash ties the blob to the cache key that produced it; decoders verify
+// it so a stale or misplaced file can never masquerade as a hit.
+func Encode(w *sim.Workload, keyHash uint64) []byte {
+	var totalAcc, totalPh int
+	for i := range w.Streams {
+		totalAcc += len(w.Streams[i].Accesses)
+		totalPh += len(w.Streams[i].Phases)
+	}
+	// Worst-case sizing is cheap to overshoot slightly; append grows once.
+	buf := make([]byte, 0, 64+len(w.Name)+totalAcc*3+totalPh*2+len(w.Streams)*16)
+	buf = append(buf, magic...)
+	buf = binary.AppendUvarint(buf, keyHash)
+	buf = binary.AppendUvarint(buf, uint64(len(w.Name)))
+	buf = append(buf, w.Name...)
+	buf = binary.AppendUvarint(buf, uint64(len(w.Streams)))
+	buf = binary.AppendUvarint(buf, uint64(totalAcc))
+	buf = binary.AppendUvarint(buf, uint64(totalPh))
+	for i := range w.Streams {
+		st := &w.Streams[i]
+		buf = binary.AppendUvarint(buf, uint64(st.Core))
+		buf = binary.AppendUvarint(buf, uint64(st.AppID))
+		buf = binary.AppendUvarint(buf, uint64(len(st.Phases)))
+		prevPh := 0
+		for _, ph := range st.Phases {
+			buf = binary.AppendUvarint(buf, uint64(ph-prevPh))
+			prevPh = ph
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(st.Accesses)))
+		var prev int64
+		for _, a := range st.Accesses {
+			buf = binary.AppendVarint(buf, a.VAddr-prev)
+			prev = a.VAddr
+		}
+		for j := 0; j < len(st.Accesses); {
+			mc := st.Accesses[j].DesiredMC
+			run := 1
+			for j+run < len(st.Accesses) && st.Accesses[j+run].DesiredMC == mc {
+				run++
+			}
+			buf = binary.AppendUvarint(buf, uint64(run))
+			buf = append(buf, byte(mc))
+			j += run
+		}
+	}
+	return buf
+}
+
+// Decoder decodes encoded workloads, reusing its buffers across calls so the
+// steady-state (cache-hit) decode path performs no allocations. The returned
+// workload aliases the decoder's buffers: it is invalidated by the next
+// Decode call on the same decoder.
+type Decoder struct {
+	w       sim.Workload
+	streams []sim.Stream
+	accs    []sim.Access
+	phases  []int
+	name    []byte
+	nameStr string // cached string form of name (avoids a per-Decode conversion)
+}
+
+// Decode decodes data into a workload, verifying the magic and key hash.
+func (d *Decoder) Decode(data []byte, keyHash uint64) (*sim.Workload, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("tracecache: bad magic")
+	}
+	r := reader{data: data, pos: len(magic)}
+	if h := r.uvarint(); h != keyHash {
+		return nil, fmt.Errorf("tracecache: key hash mismatch (got %016x, want %016x)", h, keyHash)
+	}
+	nameLen := int(r.uvarint())
+	d.name = r.bytes(nameLen, d.name)
+	nStreams := int(r.uvarint())
+	totalAcc := int(r.uvarint())
+	totalPh := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Sanity bounds: every access costs ≥1 encoded byte, so a corrupt header
+	// cannot make us allocate unboundedly.
+	if nStreams < 0 || totalAcc < 0 || totalPh < 0 || totalAcc+totalPh+nStreams > len(data)*8 {
+		return nil, fmt.Errorf("tracecache: implausible header (%d streams, %d accesses)", nStreams, totalAcc)
+	}
+	d.streams = grow(d.streams, nStreams)
+	d.accs = grow(d.accs, totalAcc)
+	d.phases = grow(d.phases, totalPh)
+	accBase, phBase := 0, 0
+	for i := 0; i < nStreams; i++ {
+		st := &d.streams[i]
+		st.Core = int(r.uvarint())
+		st.AppID = int(r.uvarint())
+		nPh := int(r.uvarint())
+		if nPh < 0 || phBase+nPh > totalPh {
+			return nil, fmt.Errorf("tracecache: phase count overruns header total")
+		}
+		prevPh := 0
+		for p := 0; p < nPh; p++ {
+			prevPh += int(r.uvarint())
+			d.phases[phBase+p] = prevPh
+		}
+		st.Phases = d.phases[phBase : phBase+nPh : phBase+nPh]
+		phBase += nPh
+		nAcc := int(r.uvarint())
+		if nAcc < 0 || accBase+nAcc > totalAcc {
+			return nil, fmt.Errorf("tracecache: access count overruns header total")
+		}
+		var prev int64
+		for a := 0; a < nAcc; a++ {
+			prev += r.varint()
+			d.accs[accBase+a].VAddr = prev
+		}
+		for a := 0; a < nAcc; {
+			run := int(r.uvarint())
+			mc := int8(r.byte())
+			if r.err != nil || run <= 0 || a+run > nAcc {
+				return nil, fmt.Errorf("tracecache: bad DesiredMC run")
+			}
+			for k := 0; k < run; k++ {
+				d.accs[accBase+a+k].DesiredMC = mc
+			}
+			a += run
+		}
+		st.Accesses = d.accs[accBase : accBase+nAcc : accBase+nAcc]
+		accBase += nAcc
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if accBase != totalAcc || phBase != totalPh {
+		return nil, fmt.Errorf("tracecache: stream totals disagree with header")
+	}
+	if string(d.name) != d.nameStr { // compiler elides the conversion here
+		d.nameStr = string(d.name)
+	}
+	d.w.Name = d.nameStr
+	d.w.Streams = d.streams[:nStreams:nStreams]
+	return &d.w, nil
+}
+
+// Decode is the one-shot form: fresh buffers, safe to retain indefinitely.
+func Decode(data []byte, keyHash uint64) (*sim.Workload, error) {
+	var d Decoder
+	return d.Decode(data, keyHash)
+}
+
+// grow returns s resized to n, reusing capacity when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reader is a bounds-checked sequential decoder over a byte slice; the
+// first failure sticks in err and poisons every later read with zeros.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("tracecache: truncated uvarint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("tracecache: truncated varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.err = fmt.Errorf("tracecache: truncated at %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) bytes(n int, dst []byte) []byte {
+	if r.err != nil {
+		return dst[:0]
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("tracecache: truncated %d-byte field at %d", n, r.pos)
+		return dst[:0]
+	}
+	dst = append(dst[:0], r.data[r.pos:r.pos+n]...)
+	r.pos += n
+	return dst
+}
