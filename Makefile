@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke profile-smoke fuzz-smoke bench bench-engine bench-trace clean
+.PHONY: check vet fmt build test test-race determinism validate conservation bench-smoke profile-smoke service-smoke fuzz-smoke bench bench-engine bench-trace bench-sweepd clean
 
 ## check: everything CI enforces — vet, formatting, build, tests under -race,
 ## the sequential-vs-parallel determinism gate, the invariant/metamorphic
-## validation battery, the engine allocation gate, and the profiler
-## conservation gate.
-check: vet fmt build test-race determinism validate bench-smoke profile-smoke
+## validation battery, the engine allocation gate, the profiler conservation
+## gate, and the sweep-service smoke.
+check: vet fmt build test-race determinism validate bench-smoke profile-smoke service-smoke
 
 vet:
 	$(GO) vet ./...
@@ -69,10 +69,18 @@ bench-smoke:
 profile-smoke:
 	$(GO) test -run TestProfileSmoke -count=1 ./internal/prof
 
+## service-smoke: boot the sweep service with a real worker-process fleet,
+## submit a sweep over HTTP, and check the results against the golden
+## snapshot. -count=1 defeats caching so the fleet actually spawns.
+service-smoke:
+	$(GO) test -run TestServiceSmoke -count=1 ./cmd/sweepd
+
 ## fuzz-smoke: a short fuzz of every Fuzz target (also run nightly in CI).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParseProgram -fuzztime=$(FUZZTIME) ./internal/ir
+	$(GO) test -run=^$$ -fuzz=FuzzParseJobID -fuzztime=$(FUZZTIME) ./internal/runner
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeOTC1 -fuzztime=$(FUZZTIME) ./internal/tracecache
 
 ## bench: record the event-kernel wall-clock and allocation numbers into
 ## BENCH_engine.json, then run the per-figure benchmarks plus the obs
@@ -89,6 +97,11 @@ bench-engine:
 ## BENCH_trace.json (see README "Performance").
 bench-trace:
 	$(GO) run ./cmd/benchtab -bench-trace BENCH_trace.json
+
+## bench-sweepd: time the example sweep in-process vs on a worker-process
+## fleet and write BENCH_sweepd.json (see README "Performance").
+bench-sweepd:
+	$(GO) run ./cmd/benchtab -bench-sweepd BENCH_sweepd.json -parallel 2
 
 clean:
 	$(GO) clean ./...

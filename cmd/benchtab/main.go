@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -45,11 +46,15 @@ import (
 	"offchip/internal/prof"
 	"offchip/internal/runner"
 	"offchip/internal/sim"
+	"offchip/internal/sweepq"
 	"offchip/internal/tracecache"
 	"offchip/internal/workloads"
 )
 
 func main() {
+	// -bench-sweepd spawns this binary as its own worker fleet; the children
+	// enter the protocol loop here and never parse flags.
+	sweepq.MaybeWorker()
 	exp := flag.String("exp", "all", "experiment id (fig3..fig25, table2) or 'all'")
 	apps := flag.String("apps", "", "comma-separated application subset (default: all 13)")
 	quick := flag.Bool("quick", false, "sampled short traces (fast smoke run; numbers not meaningful)")
@@ -63,6 +68,7 @@ func main() {
 	benchRunner := flag.String("bench-runner", "", "measure the sweep at 1 and -parallel workers; write wall clocks to this JSON file")
 	benchEngine := flag.String("bench-engine", "", "time the full experiment suite and a representative simulation against the pre-overhaul engine baseline; write the record to this JSON file")
 	benchTrace := flag.String("bench-trace", "", "time the full experiment suite exact vs trace-cached + sampled; write the record to this JSON file")
+	benchSweepd := flag.String("bench-sweepd", "", "measure the sweep in-process vs on a worker-process fleet; write wall clocks to this JSON file")
 	cacheFlag := flag.String("trace-cache", "", `memoize trace generation across experiments: "mem" (in-process) or a directory for a persistent cache`)
 	sampleFlag := flag.String("sample", "", `sampled simulation for job-sharded experiments: off | on | w<windows>f<fraction>u<warmup>r<replicates>`)
 	profFlag := flag.Bool("prof", false, "attach the latency-attribution profiler to every job and print the sweep-wide differential attribution")
@@ -131,6 +137,11 @@ func main() {
 		return
 	case *benchTrace != "":
 		if err := benchTraceRun(cfg, *benchTrace); err != nil {
+			fail(err)
+		}
+		return
+	case *benchSweepd != "":
+		if err := benchSweepdRun(cfg, *parallel, *benchSweepd); err != nil {
 			fail(err)
 		}
 		return
@@ -404,6 +415,84 @@ func benchRunnerRun(cfg experiments.Config, workers int, path string) error {
 	fmt.Printf("runner sweep: %d jobs, 1 worker %.1fs, %d workers %.1fs (%.2fx, %d CPUs) -> %s\n",
 		jobs, time1.Seconds(), workers, timeN.Seconds(),
 		time1.Seconds()/timeN.Seconds(), runtime.NumCPU(), path)
+	return nil
+}
+
+// benchSweepdRun times the example sweep in-process (1 worker, the
+// reference) and on a worker-process fleet (this binary re-executed, the
+// sweep service's execution path), checks the merged registries are
+// identical, and records both wall clocks. Process spawn and JSON framing
+// are pure overhead on a single CPU; the record tracks what the isolation
+// costs, not a speedup.
+func benchSweepdRun(cfg experiments.Config, workers int, path string) error {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	specs, err := cfg.ExampleSweep()
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	local, err := runner.Run(specs, runner.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	if err := local.FirstError(); err != nil {
+		return err
+	}
+	localWall := time.Since(start)
+
+	fleet, err := sweepq.NewFleet(sweepq.FleetConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	start = time.Now()
+	remote, err := runner.Run(specs, runner.Options{Workers: workers, Executor: fleet})
+	if err != nil {
+		return err
+	}
+	if err := remote.FirstError(); err != nil {
+		return err
+	}
+	fleetWall := time.Since(start)
+
+	horizon := int64(1) << 40
+	if !reflect.DeepEqual(local.Merged().Snapshot(horizon), remote.Merged().Snapshot(horizon)) {
+		return fmt.Errorf("bench-sweepd: fleet sweep diverged from in-process sweep")
+	}
+
+	rec := map[string]any{
+		"bench":            "sweepd-fleet",
+		"jobs":             len(specs),
+		"apps":             cfg.Apps,
+		"cap":              cfg.MaxAccessesPerThread,
+		"numcpu":           runtime.NumCPU(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"fleet_workers":    workers,
+		"seconds_inproc":   localWall.Seconds(),
+		"seconds_fleet":    fleetWall.Seconds(),
+		"fleet_overhead":   fleetWall.Seconds() / localWall.Seconds(),
+		"merged_identical": true,
+		"generated_at":     time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("sweepd fleet: %d jobs, in-process %.1fs, %d-worker fleet %.1fs (%.2fx overhead, identical results) -> %s\n",
+		len(specs), localWall.Seconds(), workers, fleetWall.Seconds(),
+		fleetWall.Seconds()/localWall.Seconds(), path)
 	return nil
 }
 

@@ -1,0 +1,86 @@
+// Command sweepd is the sharded sweep service: an HTTP server that accepts
+// sweep requests, expands them into canonical job IDs, runs them on a fleet
+// of worker processes, and aggregates every job's observability registry
+// into one live merged view.
+//
+//	sweepd -state /var/lib/sweepd -addr :9191 -workers 4
+//
+// Endpoints (see README.md "Running a sweep service"):
+//
+//	POST /submit    {"request": {"apps": ["apsi"], "cap": 100}} or {"jobs": ["j1:..."]}
+//	GET  /progress  job counts, elapsed, ETA
+//	GET  /jobs/<id> one job's state and canonical result
+//	GET  /metrics   the merged registry, Prometheus text exposition
+//	GET  /state     queue and fleet counters (journal hits, retries, ...)
+//
+// Every completion is journaled to the state directory before it is
+// acknowledged, so killing the daemon mid-sweep loses only in-flight jobs:
+// on restart, resubmitted IDs are served from the journal and only the
+// remainder re-runs. Identical job IDs always dedup — in-flight submissions
+// coalesce and completed ones are cache hits.
+//
+// The worker fleet is this same binary re-executed with -worker, speaking
+// length-prefixed JSON over stdin/stdout (the protocol in DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"offchip/internal/sweepq"
+)
+
+func main() {
+	sweepq.MaybeWorker()
+	worker := flag.Bool("worker", false, "run as a worker process: execute jobs framed over stdin/stdout (the server spawns these)")
+	addr := flag.String("addr", "127.0.0.1:9191", "HTTP listen address")
+	state := flag.String("state", "sweepd-state", "state directory: checkpoint journal, result blobs, shared trace cache")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker process count")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock bound; a worker that blows it is killed and the job retried (0: unbounded)")
+	retries := flag.Int("retries", 2, "transport-failure retries per job (crash, timeout); deterministic job errors never retry")
+	backoff := flag.Duration("retry-backoff", time.Second, "base delay before a failed job requeues (scales with the attempt)")
+	flag.Parse()
+
+	if *worker {
+		if err := sweepq.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	srv, err := sweepq.NewServer(sweepq.Config{
+		StateDir:     *state,
+		Addr:         *addr,
+		Workers:      *workers,
+		JobTimeout:   *jobTimeout,
+		MaxRetries:   *retries,
+		RetryBackoff: *backoff,
+		WorkerCommand: func() *exec.Cmd {
+			return exec.Command(self, "-worker")
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: serving on http://%s (state %s, %d workers)\n",
+		srv.Addr(), *state, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sweepd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offchip/internal/experiments"
+	"offchip/internal/prof"
+	"offchip/internal/runner"
+	"offchip/internal/stats"
+	"offchip/internal/sweepq"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot files")
+
+// TestMain lets this test binary double as the worker fleet: the server
+// under test spawns it with sweepq.WorkerEnv set, and MaybeWorker routes
+// those children into the protocol loop.
+func TestMain(m *testing.M) {
+	sweepq.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestServiceSmoke is the make service-smoke gate: boot the sweep service,
+// submit a tiny sweep request over HTTP, and verify the improvements table
+// rendered from the service's results against the golden snapshot, plus a
+// well-formed /metrics exposition of the merged registry.
+func TestServiceSmoke(t *testing.T) {
+	srv, err := sweepq.NewServer(sweepq.Config{
+		StateDir:   t.TempDir(),
+		Workers:    2,
+		MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Submit a declarative sweep request: one app × the three layout
+	// schemes, short traces.
+	req := sweepq.SubmitRequest{
+		Request: &experiments.Request{Apps: []string{"apsi"}, Cap: 100},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+srv.Addr()+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub sweepq.SubmitResult
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.IDs) != 3 || sub.Accepted != 3 {
+		t.Fatalf("expected 3 accepted jobs, got %+v", sub)
+	}
+	if failed := srv.Wait(0); failed != 0 {
+		t.Fatalf("%d jobs failed", failed)
+	}
+
+	// Render the improvements table from the service's results — the same
+	// figures an in-process sweep would print.
+	table := &stats.Table{
+		Title:   "service sweep: app × layout scheme",
+		Headers: []string{"app", "scheme", "exec%", "mem%", "offchip-net%"},
+	}
+	schemes := experiments.SchemeNames()
+	for i, id := range sub.IDs {
+		jr := srv.Result(id)
+		if jr == nil {
+			t.Fatalf("no result for %s", id)
+		}
+		out := jr.Outcome()
+		if out.Err != nil {
+			t.Fatalf("%s: %v", id, out.Err)
+		}
+		c := out.Comparison
+		table.AddF(out.Spec.App, schemes[i%len(schemes)],
+			100*c.ExecImprovement(), 100*c.MemImprovement(), 100*c.OffChipNetImprovement())
+	}
+	got := table.String()
+
+	golden := filepath.Join("testdata", "service_smoke.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("service sweep table drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+
+	// The merged registry must export as valid Prometheus text exposition.
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, samples, err := prof.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families == 0 || samples == 0 {
+		t.Fatalf("empty exposition: %d families, %d samples", families, samples)
+	}
+
+	// /progress and /jobs/<id> answer sensibly after completion.
+	resp, err = http.Get("http://" + srv.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p prof.Progress
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalJobs != 3 || p.DoneJobs != 3 {
+		t.Fatalf("progress after completion: %+v", p)
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/jobs/" + sub.IDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js struct {
+		State     string          `json:"state"`
+		Canonical json.RawMessage `json:"canonical"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&js)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != "done" || len(js.Canonical) == 0 {
+		t.Fatalf("job status after completion: state=%q canonical=%d bytes", js.State, len(js.Canonical))
+	}
+
+	// The canonical result must byte-match an in-process replay: the fleet
+	// upholds the determinism contract end to end. The HTTP layer
+	// pretty-prints responses (re-indenting the embedded raw message), so
+	// compact before comparing.
+	spec, err := runner.ParseJobID(sub.IDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec.Execute().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, js.Canonical); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compacted.Bytes(), want) {
+		t.Fatalf("service result differs from in-process replay for %s:\n got %s\nwant %s",
+			sub.IDs[0], compacted.Bytes(), want)
+	}
+}
+
+// TestServiceResubmitIsCached pins the dedup contract at the service
+// boundary: a second identical submission does no new work.
+func TestServiceResubmitIsCached(t *testing.T) {
+	srv, err := sweepq.NewServer(sweepq.Config{StateDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id := runner.JobSpec{Mode: runner.ModeBaseline, App: "apsi", Cap: 60}.ID()
+	if _, err := srv.Submit([]string{id}, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait(0)
+	res, err := srv.Submit([]string{id, id}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 || res.Cached != 2 {
+		t.Fatalf("resubmit not served from cache: %+v", res)
+	}
+	if st := srv.Stats(); st.CacheHits != 2 {
+		t.Fatalf("cache hits not counted: %+v", st)
+	}
+}

@@ -115,6 +115,17 @@ func (g *TimeWeighted) Value() int64 {
 	return g.cur
 }
 
+// raw returns the gauge's internal (integral, last) pair — with Value, the
+// complete state, so a snapshot can reconstruct the gauge exactly.
+func (g *TimeWeighted) raw() (integral, last int64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.integral, g.last
+}
+
 // Avg returns the time-averaged level over [0, until], extending the last
 // recorded level to until. A non-positive until yields 0.
 func (g *TimeWeighted) Avg(until int64) float64 {
@@ -378,8 +389,10 @@ func (r *Registry) Histogram(component, name string, bounds []int64, labels ...s
 
 // Point is one metric's exported state, as serialized to the JSONL metrics
 // dump. Counters and gauges fill Value; time-weighted gauges also fill Avg
-// (over [0, until] as passed to Snapshot); histograms fill Buckets, Counts,
-// Sum, and Count.
+// (over [0, until] as passed to Snapshot) plus the raw Integral/Last pair;
+// histograms fill Buckets, Counts, Sum, and Count. A point slice carries
+// everything a registry holds: FromPoints inverts Snapshot exactly, which is
+// how sweep workers stream whole registries across a process boundary.
 type Point struct {
 	Run       string            `json:"run,omitempty"`
 	Component string            `json:"component"`
@@ -388,6 +401,8 @@ type Point struct {
 	Type      string            `json:"type"`
 	Value     int64             `json:"value,omitempty"`
 	Avg       float64           `json:"avg,omitempty"`
+	Integral  int64             `json:"integral,omitempty"`
+	Last      int64             `json:"last,omitempty"`
 	Buckets   []int64           `json:"buckets,omitempty"`
 	Counts    []int64           `json:"counts,omitempty"`
 	Sum       int64             `json:"sum,omitempty"`
@@ -424,6 +439,7 @@ func (r *Registry) Snapshot(until int64) []Point {
 		case "timeweighted":
 			p.Value = m.tw.Value()
 			p.Avg = m.tw.Avg(until)
+			p.Integral, p.Last = m.tw.raw()
 		case "histogram":
 			p.Buckets = m.hist.Bounds()
 			p.Counts = m.hist.Counts()

@@ -46,6 +46,11 @@ type ServerConfig struct {
 	Profiles func() map[string]*Profile
 	// Progress returns the current job counts for /progress.
 	Progress func() Progress
+	// Extra mounts additional handlers on the plane's mux (path →
+	// handler) — how the sweep service adds /submit, /jobs/, and /state
+	// next to the built-in endpoints. Paths must not collide with the
+	// built-ins ("/", "/metrics", "/progress", "/profile").
+	Extra map[string]http.HandlerFunc
 }
 
 // Server is the live observability endpoint.
@@ -72,6 +77,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/profile", s.handleProfile)
+	for path, h := range cfg.Extra {
+		mux.HandleFunc(path, h)
+	}
 	s.srv = &http.Server{Handler: mux}
 	return s, nil
 }

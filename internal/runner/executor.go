@@ -1,0 +1,21 @@
+package runner
+
+// Executor abstracts where a job runs. The default executes in the calling
+// process (the work-stealing pool's historical behavior); the sweep service
+// plugs in a process-fleet executor that ships the spec to a worker process
+// and rebuilds the outcome from the wire form. Any executor must preserve
+// the determinism contract: for a given canonical job ID, the outcome's
+// deterministic projection (CanonicalJSON, per-run registries, exec times)
+// is identical wherever and whenever the job runs.
+type Executor interface {
+	Execute(spec JobSpec) *JobOutcome
+}
+
+// localExecutor runs the job in-process (behind the panic-capturing path).
+type localExecutor struct{}
+
+func (localExecutor) Execute(spec JobSpec) *JobOutcome { return spec.execute() }
+
+// Local is the in-process executor — the default when Options.Executor is
+// nil.
+var Local Executor = localExecutor{}

@@ -19,6 +19,10 @@ type Options struct {
 	// serialized (safe for terminal output) but their order follows
 	// completion, which is not deterministic under stealing.
 	OnJob func(ev JobEvent)
+	// Executor runs each job; nil means Local (in-process). A remote
+	// executor (e.g. the sweep service's process fleet) must uphold the
+	// determinism contract documented on the Executor interface.
+	Executor Executor
 }
 
 // JobEvent reports one finished job to Options.OnJob.
@@ -118,6 +122,10 @@ func Run(specs []JobSpec, opt Options) (*Result, error) {
 		deques[w].jobs = append(deques[w].jobs, i)
 	}
 
+	exec := opt.Executor
+	if exec == nil {
+		exec = Local
+	}
 	var (
 		done   atomic.Int64
 		steals atomic.Int64
@@ -143,7 +151,7 @@ func Run(specs []JobSpec, opt Options) (*Result, error) {
 					steals.Add(1)
 				}
 				t0 := time.Now()
-				out := specs[i].execute()
+				out := exec.Execute(specs[i])
 				out.Worker = w
 				out.WallNS = time.Since(t0).Nanoseconds()
 				res.Outcomes[i] = out

@@ -348,6 +348,13 @@ type JobOutcome struct {
 	Err    error
 	Worker int   // which worker executed the job (not deterministic)
 	WallNS int64 // job wall-clock (not deterministic)
+
+	// Canonical, when non-empty, is a precomputed deterministic projection
+	// that CanonicalJSON returns verbatim. The sweep service's fleet
+	// executor sets it from the worker's wire form, so a remotely executed
+	// outcome projects byte-identically even for modes (analyze) whose
+	// inputs are not reconstructible from the projection itself.
+	Canonical json.RawMessage
 }
 
 // canonicalOutcome is the deterministic projection of a JobOutcome — the
@@ -369,6 +376,9 @@ type canonicalOutcome struct {
 func (o *JobOutcome) CanonicalJSON() ([]byte, error) {
 	if o.Err != nil {
 		return nil, o.Err
+	}
+	if len(o.Canonical) > 0 {
+		return o.Canonical, nil
 	}
 	c := canonicalOutcome{ID: o.ID, Run: o.Run}
 	if o.Comparison != nil {

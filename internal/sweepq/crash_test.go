@@ -1,0 +1,256 @@
+package sweepq
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"offchip/internal/obs"
+	"offchip/internal/runner"
+)
+
+// crashSweepSpecs enumerates the 50-job sweep the crash test runs: the
+// application suite crossed with four single-run variants, truncated to 50.
+// Baseline-mode jobs keep each job to one simulation so the whole battery
+// stays fast under -race on one CPU.
+func crashSweepSpecs(t *testing.T) []runner.JobSpec {
+	t.Helper()
+	apps := []string{
+		"wupwise", "swim", "mgrid", "applu", "galgel", "apsi", "gafort",
+		"fma3d", "art", "ammp", "hpccg", "minighost", "minimd",
+	}
+	variants := []func(*runner.JobSpec){
+		func(s *runner.JobSpec) {},
+		func(s *runner.JobSpec) { s.Interleave = "page" },
+		func(s *runner.JobSpec) { s.L2 = "shared" },
+		func(s *runner.JobSpec) { s.Policy = "firsttouch" },
+	}
+	var specs []runner.JobSpec
+	for _, app := range apps {
+		for _, set := range variants {
+			s := runner.JobSpec{Mode: runner.ModeBaseline, App: app, Cap: 60}
+			set(&s)
+			specs = append(specs, s)
+		}
+	}
+	return specs[:50]
+}
+
+// TestCrashResume is the service's end-to-end durability proof:
+//
+//  1. run the 50-job sweep uninterrupted (in-process) for the reference
+//     merged registry;
+//  2. boot a sweep server, submit the same sweep over HTTP, and SIGKILL the
+//     whole worker fleet mid-run;
+//  3. boot a fresh server on the same state directory, resubmit, and let it
+//     finish;
+//  4. assert the jobs completed before the kill were served from the
+//     journal (never re-run), and the final merged registry is
+//     byte-identical to the uninterrupted run's.
+func TestCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash test")
+	}
+	specs := crashSweepSpecs(t)
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID()
+	}
+
+	// Reference: the same sweep, uninterrupted and in-process.
+	ref, err := runner.Run(specs, runner.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := int64(1) << 40
+	want := snapshotJSONL(t, ref.Merged(), horizon)
+
+	// First server life: submit over HTTP, let part of the sweep finish,
+	// then kill the fleet mid-run.
+	state := t.TempDir()
+	s1, err := NewServer(Config{
+		StateDir: state, Workers: 3, MaxRetries: 2,
+		RetryBackoff: 10 * time.Millisecond,
+		testJobDelay: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitHTTP(t, s1.Addr(), SubmitRequest{Jobs: ids})
+	waitDone(t, s1.Addr(), 10)
+	s1.Kill()
+
+	journaled := countJournal(t, s1)
+	if journaled < 1 || journaled >= len(ids) {
+		t.Fatalf("kill landed outside the interesting window: %d/%d jobs journaled", journaled, len(ids))
+	}
+	t.Logf("killed fleet with %d/%d jobs journaled", journaled, len(ids))
+
+	// Second life: same state dir, resubmit everything.
+	s2, err := NewServer(Config{
+		StateDir: state, Workers: 3, MaxRetries: 2,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res := submitHTTP(t, s2.Addr(), SubmitRequest{Jobs: ids})
+	if res.Cached < journaled {
+		t.Fatalf("only %d of %d journaled jobs served from cache", res.Cached, journaled)
+	}
+	if failed := s2.Wait(0); failed != 0 {
+		t.Fatalf("%d jobs failed after resume", failed)
+	}
+	st := s2.Stats()
+	if st.JournalHits < int64(journaled) {
+		t.Fatalf("journal hits %d < %d journaled completions", st.JournalHits, journaled)
+	}
+	if st.Done != len(ids) {
+		t.Fatalf("resumed server finished %d/%d jobs", st.Done, len(ids))
+	}
+
+	// The recovered+completed merged registry must be byte-identical to the
+	// uninterrupted run's.
+	got := snapshotJSONL(t, s2.Merged(), horizon)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged registry after crash/resume differs from uninterrupted run\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+
+	// And every per-job canonical projection matches the reference outcome.
+	for i, id := range ids {
+		jr := s2.Result(id)
+		if jr == nil {
+			t.Fatalf("job %s has no result", id)
+		}
+		want, err := ref.Outcomes[i].CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jr.Canonical, want) {
+			t.Fatalf("job %s: canonical result differs after crash/resume", id)
+		}
+	}
+
+	// Resubmitting yet again must be pure cache: no new work accepted.
+	res = submitHTTP(t, s2.Addr(), SubmitRequest{Jobs: ids})
+	if res.Accepted != 0 || res.Cached != len(ids) {
+		t.Fatalf("resubmit after completion accepted new work: %+v", res)
+	}
+}
+
+// snapshotJSONL renders a merged registry as its canonical JSONL bytes —
+// the byte-stable form the determinism comparisons use.
+func snapshotJSONL(t *testing.T, r *obs.Registry, horizon int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, r.Snapshot(horizon)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// countJournal reads how many completions the server's journal holds.
+func countJournal(t *testing.T, s *Server) int {
+	t.Helper()
+	return len(s.journal.Entries)
+}
+
+// submitHTTP posts a SubmitRequest to a live server.
+func submitHTTP(t *testing.T, addr string, req SubmitRequest) *SubmitResult {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var res SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+// waitDone polls /progress until at least n jobs are done.
+func waitDone(t *testing.T, addr string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p struct {
+			DoneJobs int `json:"done_jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&p)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.DoneJobs >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for progress")
+}
+
+// TestJournalTornTail: a journal whose final line was torn by a crash must
+// recover every whole line and ignore the tail.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/journal.jsonl"
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(JournalEntry{ID: fmt.Sprintf("j1:app=a%d", i), Blob: "b", Digest: "d"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Tear the last line, as a crash mid-append would.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Entries) != 2 {
+		t.Fatalf("recovered %d entries from torn journal, want 2", len(j2.Entries))
+	}
+	// The journal stays appendable after recovery.
+	if err := j2.Append(JournalEntry{ID: "j1:app=new", Blob: "b", Digest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if len(j3.Entries) != 3 {
+		t.Fatalf("post-recovery append lost: %d entries, want 3", len(j3.Entries))
+	}
+}

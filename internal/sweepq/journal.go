@@ -1,0 +1,104 @@
+package sweepq
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// The checkpoint journal is an append-only JSONL file of completed jobs:
+// one line per success, written after the result blob lands in the store.
+// Restart recovery replays the journal, re-loads each blob, and verifies it
+// against the recorded digest — so a crash can lose at most the in-flight
+// jobs, never corrupt a completed one. A torn final line (the crash landed
+// mid-append) is detected and ignored.
+
+// JournalEntry is one completed job: its canonical ID, the result blob's
+// filename in the store, and the blob's FNV-1a digest.
+type JournalEntry struct {
+	V      int    `json:"v"`
+	ID     string `json:"id"`
+	Blob   string `json:"blob"`
+	Digest string `json:"digest"`
+}
+
+// Journal is the open append handle plus the entries recovered at open.
+type Journal struct {
+	f *os.File
+	// Entries maps canonical job ID → recovered entry (last write wins).
+	Entries map[string]JournalEntry
+}
+
+// OpenJournal opens (creating if absent) the journal at path and recovers
+// its entries. Unparseable lines terminate recovery — appends are
+// sequential, so garbage can only be a torn tail from a crash mid-append —
+// and the torn tail is truncated away so future appends start on a clean
+// line instead of gluing onto the partial one.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepq: open journal: %w", err)
+	}
+	j := &Journal{f: f, Entries: map[string]JournalEntry{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var good int64 // byte offset past the last whole, valid line
+	for sc.Scan() {
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.V != 1 || e.ID == "" {
+			break // torn tail; everything before it holds
+		}
+		good += int64(len(sc.Bytes())) + 1
+		j.Entries[e.ID] = e
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepq: read journal: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && good > fi.Size() {
+		good = fi.Size() // final line valid but unterminated: keep it whole
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepq: truncate torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepq: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// Append records one completed job and syncs — the job is checkpointed the
+// moment Append returns.
+func (j *Journal) Append(e JournalEntry) error {
+	e.V = 1
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweepq: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweepq: sync journal: %w", err)
+	}
+	j.Entries[e.ID] = e
+	return nil
+}
+
+// Close releases the append handle.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// BlobDigest fingerprints a result blob for the journal (FNV-1a, rendered
+// like runner short IDs).
+func BlobDigest(b []byte) string {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return strconv.FormatUint(h, 16)
+}

@@ -1,0 +1,98 @@
+package sweepq
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"offchip/internal/runner"
+)
+
+// TestMain doubles as the worker-fleet entry point: the fleet re-executes
+// this very test binary with WorkerEnv set, and the env check routes the
+// child into the protocol loop instead of the test runner. The optional
+// SWEEPQ_TEST_MODE env selects a misbehavior for the failure-mode tests.
+func TestMain(m *testing.M) {
+	if os.Getenv(WorkerEnv) != "" {
+		testWorkerMain()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testWorkerMain is WorkerMain with injectable faults. "Once" behaviors use
+// a marker file so the fault fires in exactly one worker process across the
+// fleet and its respawns.
+func testWorkerMain() {
+	mode := os.Getenv("SWEEPQ_TEST_MODE")
+	marker := os.Getenv("SWEEPQ_TEST_MARKER")
+	if mode == "" {
+		MaybeWorker() // exercises the production entry point; never returns
+	}
+	firstHere := func() bool {
+		f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false // marker exists: another process already misbehaved
+		}
+		f.Close()
+		return true
+	}
+	br := bufio.NewReader(os.Stdin)
+	bw := bufio.NewWriter(os.Stdout)
+	for {
+		var jf jobFrame
+		if err := ReadFrame(br, &jf); err != nil {
+			if err == io.EOF {
+				return
+			}
+			os.Exit(1)
+		}
+		switch mode {
+		case "always-exit":
+			os.Exit(3)
+		case "exit-before-result":
+			if firstHere() {
+				os.Exit(3) // job received, worker dies mid-job
+			}
+		case "sleep-before-result":
+			if firstHere() {
+				time.Sleep(1500 * time.Millisecond) // blows a short JobTimeout
+			}
+		case "truncate-result":
+			if firstHere() {
+				// Write half a frame, then die: the server-side reader must
+				// report a truncated frame, not hang or accept garbage.
+				var full sliceWriter
+				rf := resultFrame{ID: jf.ID, Attempt: jf.Attempt, Err: "unused"}
+				_ = WriteFrame(&full, rf)
+				os.Stdout.Write(full[:len(full)/2])
+				os.Exit(3)
+			}
+		}
+		rf := resultFrame{ID: jf.ID, Attempt: jf.Attempt}
+		if spec, err := runner.ParseJobID(jf.ID); err != nil {
+			rf.Err = err.Error()
+		} else {
+			rf.Result = ResultOf(spec.Execute())
+		}
+		if err := writeFlush(bw, rf); err != nil {
+			os.Exit(1)
+		}
+		if mode == "duplicate-result" {
+			// Deliver the same result a second time — the duplicate must be
+			// discarded by the (id, attempt) tag check, not double-merged.
+			if err := writeFlush(bw, rf); err != nil {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

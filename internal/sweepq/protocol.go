@@ -1,0 +1,236 @@
+// Package sweepq is the sharded sweep service: a priority job queue with
+// dedup, a fleet of worker processes speaking length-prefixed JSON over
+// stdin/stdout, an append-only completion journal for checkpoint/resume, and
+// an HTTP plane (mounted on internal/prof's server) for submission and live
+// progress. Jobs are identified by their canonical runner job IDs, which
+// makes every job replayable, dedupable, and cacheable: an identical job ID
+// always produces an identical result, so a completed job's blob can be
+// served forever from the content-addressed result store.
+package sweepq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"offchip/internal/core"
+	"offchip/internal/obs"
+	"offchip/internal/runner"
+	"offchip/internal/sim"
+)
+
+// maxFrame bounds a single protocol frame. Job results carry full registry
+// snapshots, which for big meshes reach megabytes; a corrupt length prefix
+// must still never drive an unbounded allocation.
+const maxFrame = 1 << 28 // 256 MiB
+
+// WriteFrame writes one length-prefixed JSON frame: a 4-byte big-endian
+// payload length followed by the JSON encoding of v.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweepq: encode frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("sweepq: frame of %d bytes exceeds the %d limit", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v. A clean EOF before the
+// first header byte returns io.EOF; EOF anywhere later (a truncated frame)
+// returns an explicit error, so a dying peer is always distinguishable from
+// an orderly close.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("sweepq: truncated frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("sweepq: frame length %d exceeds the %d limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("sweepq: truncated %d-byte frame: %w", n, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("sweepq: bad frame payload: %w", err)
+	}
+	return nil
+}
+
+// jobFrame is the server→worker message: run this job. Attempt tags the
+// assignment so a late or duplicated result from an earlier attempt can
+// never be mistaken for the current one. CacheDir points the worker at the
+// shared on-disk trace cache (empty: no caching).
+type jobFrame struct {
+	ID       string `json:"id"`
+	Attempt  int    `json:"attempt"`
+	CacheDir string `json:"cache_dir,omitempty"`
+}
+
+// resultFrame is the worker→server reply. Err carries transport-level
+// failures (an unparseable job ID reaching the worker); job-level failures
+// ride inside Result.Err so they stay attached to the job's identity.
+type resultFrame struct {
+	ID      string     `json:"id"`
+	Attempt int        `json:"attempt"`
+	Err     string     `json:"err,omitempty"`
+	Result  *JobResult `json:"result,omitempty"`
+}
+
+// RunResult is one run's deterministic outcome: its exec time (the merge
+// horizon for time-weighted gauges) and the full registry snapshot.
+type RunResult struct {
+	Run      string      `json:"run"`
+	ExecTime int64       `json:"exec_time"`
+	Points   []obs.Point `json:"points"`
+}
+
+// JobResult is the wire (and on-disk blob) form of one completed job: the
+// deterministic projection the differential tests compare, plus everything
+// needed to rebuild the job's contribution to a merged sweep registry.
+type JobResult struct {
+	ID        string          `json:"id"`
+	ShortID   string          `json:"short_id"`
+	Err       string          `json:"err,omitempty"`
+	Canonical json.RawMessage `json:"canonical,omitempty"`
+	Runs      []RunResult     `json:"runs,omitempty"`
+}
+
+// ResultOf projects a finished job outcome into its wire form. Runs are
+// serialized in sorted name order, so the blob bytes for a given job ID are
+// identical wherever the job ran.
+func ResultOf(out *runner.JobOutcome) *JobResult {
+	jr := &JobResult{ID: out.ID, ShortID: out.ShortID}
+	if out.Err != nil {
+		jr.Err = out.Err.Error()
+		return jr
+	}
+	var err error
+	if jr.Canonical, err = out.CanonicalJSON(); err != nil {
+		jr.Err = err.Error()
+		return jr
+	}
+	runs := make([]string, 0, len(out.Observers))
+	for run := range out.Observers {
+		runs = append(runs, run)
+	}
+	sort.Strings(runs)
+	for _, run := range runs {
+		ob := out.Observers[run]
+		if ob == nil || ob.Reg == nil {
+			continue
+		}
+		until := out.ExecTimes[run]
+		jr.Runs = append(jr.Runs, RunResult{
+			Run:      run,
+			ExecTime: until,
+			Points:   ob.Reg.Snapshot(until),
+		})
+	}
+	return jr
+}
+
+// MergeInto folds the result's runs into a merged sweep registry, exactly as
+// runner.Result.Merged does for in-process outcomes: each run is rescoped
+// with job=<short ID> and run=<name> labels and finalized at its exec time.
+// Merging is commutative across jobs, so the merged registry's snapshot is
+// byte-identical however completions were ordered.
+func (jr *JobResult) MergeInto(m *obs.Registry) {
+	if jr.Err != "" {
+		return
+	}
+	for _, rr := range jr.Runs {
+		m.MergeScoped(obs.FromPoints(rr.Points), rr.ExecTime, "job="+jr.ShortID, "run="+rr.Run)
+	}
+}
+
+// canonicalOutcome mirrors runner's deterministic projection (field names
+// and order must match runner.canonicalOutcome exactly — the rebuilt
+// outcome's CanonicalJSON is asserted byte-identical to the original).
+type canonicalOutcome struct {
+	ID        string
+	Baseline  *core.Metrics `json:",omitempty"`
+	Optimized *core.Metrics `json:",omitempty"`
+	Optimal   *core.Metrics `json:",omitempty"`
+	PctArrays float64
+	PctRefs   float64
+	Run       *sim.Result `json:",omitempty"`
+}
+
+// Outcome rebuilds a runner.JobOutcome from the wire form — the inverse of
+// ResultOf up to the deterministic projection: CanonicalJSON of the rebuilt
+// outcome is byte-identical to the original's, and the per-run registries
+// merge identically (obs.FromPoints restores exact gauge state). Worker and
+// WallNS are left zero; the fleet executor fills them from its own clock.
+func (jr *JobResult) Outcome() *runner.JobOutcome {
+	spec, err := runner.ParseJobID(jr.ID)
+	out := &runner.JobOutcome{
+		Spec:      spec,
+		ID:        jr.ID,
+		ShortID:   jr.ShortID,
+		Observers: map[string]*obs.Observer{},
+		ExecTimes: map[string]int64{},
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if jr.Err != "" {
+		out.Err = errors.New(jr.Err)
+		return out
+	}
+	out.Canonical = jr.Canonical
+	var c canonicalOutcome
+	if err := json.Unmarshal(jr.Canonical, &c); err != nil {
+		out.Err = fmt.Errorf("sweepq: result for %s has bad canonical payload: %w", jr.ID, err)
+		return out
+	}
+	switch {
+	case c.Baseline != nil && c.Optimized != nil:
+		cmp := &core.Comparison{
+			App:                spec.App,
+			Mapping:            spec.Mapping,
+			PctArraysOptimized: c.PctArrays,
+			PctRefsSatisfied:   c.PctRefs,
+		}
+		cmp.Baseline = *c.Baseline
+		cmp.Optimized = *c.Optimized
+		if c.Optimal != nil {
+			cmp.Optimal = *c.Optimal
+		}
+		out.Comparison = cmp
+	case c.Run != nil:
+		out.Run = c.Run
+	}
+	for _, rr := range jr.Runs {
+		out.Observers[rr.Run] = &obs.Observer{Reg: obs.FromPoints(rr.Points)}
+		out.ExecTimes[rr.Run] = rr.ExecTime
+	}
+	return out
+}
+
+// writeFlush frames v and flushes — one syscall-visible message per call,
+// which is what keeps a SIGKILLed peer from leaving a half-frame behind
+// only at the true kill point rather than on every write.
+func writeFlush(bw *bufio.Writer, v any) error {
+	if err := WriteFrame(bw, v); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

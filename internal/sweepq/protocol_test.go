@@ -1,0 +1,155 @@
+package sweepq
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"offchip/internal/obs"
+	"offchip/internal/runner"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := jobFrame{ID: "j1:app=apsi", Attempt: 3, CacheDir: "/tmp/x"}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out jobFrame
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the frame: %+v != %+v", out, in)
+	}
+	// The stream is now empty: the next read is a clean EOF.
+	if err := ReadFrame(&buf, &out); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncations(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, jobFrame{ID: "j1:app=apsi"}); err != nil {
+		t.Fatal(err)
+	}
+	whole := full.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		var v jobFrame
+		err := ReadFrame(bytes.NewReader(whole[:cut]), &v)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes read successfully", cut, len(whole))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d reported as clean EOF", cut, len(whole))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizeLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	var v jobFrame
+	err := ReadFrame(bytes.NewReader(hdr[:]), &v)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversize length not rejected: %v", err)
+	}
+}
+
+func TestReadFrameRejectsGarbagePayload(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("not{")
+	var v jobFrame
+	if err := ReadFrame(&buf, &v); err == nil {
+		t.Fatal("garbage JSON payload accepted")
+	}
+}
+
+// TestJobResultRoundTrip is the wire-form contract the whole service rests
+// on: ResultOf → JSON → Outcome reproduces the deterministic projection
+// byte-for-byte and merges identically to the in-process outcome.
+func TestJobResultRoundTrip(t *testing.T) {
+	for _, spec := range []runner.JobSpec{
+		{App: "apsi", Cap: 60},
+		{Mode: runner.ModeBaseline, App: "swim", Interleave: "page", Cap: 60},
+		{Mode: runner.ModeAnalyze, App: "fma3d"},
+	} {
+		out := spec.Execute()
+		if out.Err != nil {
+			t.Fatalf("%s: %v", out.ID, out.Err)
+		}
+		jr := ResultOf(out)
+		wire, err := json.Marshal(jr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr2 JobResult
+		if err := json.Unmarshal(wire, &jr2); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt := jr2.Outcome()
+		if rebuilt.Err != nil {
+			t.Fatalf("%s: rebuilt outcome failed: %v", out.ID, rebuilt.Err)
+		}
+		want, err := out.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rebuilt.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: canonical projection changed over the wire:\n got %s\nwant %s", out.ID, got, want)
+		}
+		// Merging the wire form must equal merging the in-process outcome.
+		direct := obs.NewRegistry()
+		for _, run := range sortedRuns(out) {
+			direct.MergeScoped(out.Observers[run].Reg, out.ExecTimes[run], "job="+out.ShortID, "run="+run)
+		}
+		viaWire := obs.NewRegistry()
+		jr2.MergeInto(viaWire)
+		if !reflect.DeepEqual(direct.Snapshot(0), viaWire.Snapshot(0)) {
+			t.Fatalf("%s: merged registries differ between direct and wire paths", out.ID)
+		}
+	}
+}
+
+func sortedRuns(o *runner.JobOutcome) []string {
+	var runs []string
+	for run := range o.Observers {
+		if o.Observers[run] != nil && o.Observers[run].Reg != nil {
+			runs = append(runs, run)
+		}
+	}
+	// Small fixed set; insertion sort keeps the helper dependency-free.
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j] < runs[j-1]; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+	return runs
+}
+
+// TestJobResultErrorPropagates: a failed job travels as an error-carrying
+// result and rebuilds into a failed outcome, never a zero-metric success.
+func TestJobResultErrorPropagates(t *testing.T) {
+	out := runner.JobSpec{App: "apsi", L2: "bogus"}.Execute()
+	if out.Err == nil {
+		t.Fatal("expected a failing job")
+	}
+	jr := ResultOf(out)
+	if jr.Err == "" {
+		t.Fatal("job error lost in ResultOf")
+	}
+	if rebuilt := jr.Outcome(); rebuilt.Err == nil {
+		t.Fatal("job error lost in Outcome")
+	}
+}

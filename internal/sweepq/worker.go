@@ -1,0 +1,76 @@
+package sweepq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"offchip/internal/runner"
+	"offchip/internal/tracecache"
+)
+
+// WorkerEnv is the environment variable that turns any binary calling
+// MaybeWorker into a sweep protocol worker. The fleet sets it when spawning
+// workers by re-executing the current binary, which is what lets the test
+// binaries themselves serve as the worker fleet.
+const WorkerEnv = "SWEEPQ_WORKER"
+
+// MaybeWorker checks WorkerEnv and, when set, runs the worker protocol loop
+// over stdin/stdout and exits the process. Call it first thing in main (and
+// in TestMain for packages whose tests boot a fleet); in the normal case it
+// is a no-op.
+func MaybeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepq worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain is the worker protocol loop: read a job frame, execute the job
+// in-process, write the result frame, repeat until EOF. Job-level failures
+// (bad app name, simulator error) travel inside the result; only protocol
+// breakdowns (truncated frame, unwritable stdout) abort the loop.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	// Trace caches are memoized per directory: a fleet worker serves many
+	// jobs over its lifetime and they share the sweep's on-disk cache.
+	caches := map[string]*tracecache.Cache{}
+	for {
+		var jf jobFrame
+		if err := ReadFrame(br, &jf); err != nil {
+			if err == io.EOF {
+				return nil // orderly close: server shut our stdin
+			}
+			return err
+		}
+		rf := resultFrame{ID: jf.ID, Attempt: jf.Attempt}
+		spec, err := runner.ParseJobID(jf.ID)
+		if err != nil {
+			rf.Err = err.Error()
+		} else {
+			if jf.CacheDir != "" {
+				c, ok := caches[jf.CacheDir]
+				if !ok {
+					c, err = tracecache.New(jf.CacheDir)
+					if err != nil {
+						// A broken cache dir must not fail the job: caching is
+						// excluded from job identity, so run uncached.
+						c = nil
+					}
+					caches[jf.CacheDir] = c
+				}
+				spec.Cache = c
+			}
+			rf.Result = ResultOf(spec.Execute())
+		}
+		if err := writeFlush(bw, rf); err != nil {
+			return fmt.Errorf("sweepq: worker write: %w", err)
+		}
+	}
+}

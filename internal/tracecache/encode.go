@@ -106,8 +106,12 @@ func (d *Decoder) Decode(data []byte, keyHash uint64) (*sim.Workload, error) {
 		return nil, r.err
 	}
 	// Sanity bounds: every access costs ≥1 encoded byte, so a corrupt header
-	// cannot make us allocate unboundedly.
-	if nStreams < 0 || totalAcc < 0 || totalPh < 0 || totalAcc+totalPh+nStreams > len(data)*8 {
+	// cannot make us allocate unboundedly. Each count is bounded on its own —
+	// summing first would let two huge counts overflow int and slip past the
+	// check (found by FuzzDecodeOTC1).
+	limit := len(data) * 8
+	if nStreams < 0 || totalAcc < 0 || totalPh < 0 ||
+		nStreams > limit || totalAcc > limit || totalPh > limit {
 		return nil, fmt.Errorf("tracecache: implausible header (%d streams, %d accesses)", nStreams, totalAcc)
 	}
 	d.streams = grow(d.streams, nStreams)

@@ -15,9 +15,6 @@ package tracecache
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -62,14 +59,7 @@ func (k Key) Hash() uint64 {
 // filename returns the content-addressed cache file name. The program name
 // is a readability prefix; identity lives in the hash.
 func (k Key) filename() string {
-	name := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
-			return r
-		}
-		return '_'
-	}, k.Program)
-	return fmt.Sprintf("%s-%016x.otc", name, k.Hash())
+	return fmt.Sprintf("%s-%016x.otc", SanitizeName(k.Program), k.Hash())
 }
 
 // KeyOf computes the cache key for one trace.Generate call.
@@ -108,7 +98,7 @@ type Stats struct {
 // builds one. A nil *Cache is valid and means "no caching" — every method
 // degrades to calling trace.Generate directly.
 type Cache struct {
-	dir string // "" = in-process only
+	store *Store // nil = in-process only
 
 	mu      sync.Mutex
 	entries map[Key]*entry
@@ -127,12 +117,15 @@ type entry struct {
 // New returns a cache. A non-empty dir enables the on-disk layer (created
 // if missing); dir == "" keeps the cache in-process only.
 func New(dir string) (*Cache, error) {
+	c := &Cache{entries: map[Key]*entry{}}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("tracecache: %w", err)
+		s, err := NewStore(dir)
+		if err != nil {
+			return nil, err
 		}
+		c.store = s
 	}
-	return &Cache{dir: dir, entries: map[Key]*entry{}}, nil
+	return c, nil
 }
 
 // Stats snapshots the traffic counters.
@@ -190,7 +183,7 @@ func (c *Cache) Generate(p *ir.Program, res *layout.Result, m layout.Machine, st
 
 // fill resolves a miss: disk first, then real generation (with write-back).
 func (c *Cache) fill(key Key, p *ir.Program, res *layout.Result, m layout.Machine, store *ir.DataStore, opt trace.Options) (*sim.Workload, error) {
-	if c.dir != "" {
+	if c.store != nil {
 		if w := c.load(key); w != nil {
 			c.diskHits.Add(1)
 			return w, nil
@@ -201,8 +194,8 @@ func (c *Cache) fill(key Key, p *ir.Program, res *layout.Result, m layout.Machin
 	if err != nil {
 		return nil, err
 	}
-	if c.dir != "" {
-		if c.storeBlob(key, w) == nil {
+	if c.store != nil {
+		if c.store.Save(key.filename(), Encode(w, key.Hash())) == nil {
 			c.diskWrites.Add(1)
 		}
 	}
@@ -213,39 +206,16 @@ func (c *Cache) fill(key Key, p *ir.Program, res *layout.Result, m layout.Machin
 // corruption, key-hash mismatch — degrades to a miss; a corrupt file is
 // removed so it cannot fail every future run.
 func (c *Cache) load(key Key) *sim.Workload {
-	path := filepath.Join(c.dir, key.filename())
-	data, err := os.ReadFile(path)
-	if err != nil {
+	data := c.store.Load(key.filename())
+	if data == nil {
 		return nil
 	}
 	w, err := Decode(data, key.Hash())
 	if err != nil {
-		os.Remove(path)
+		c.store.Remove(key.filename())
 		return nil
 	}
 	return w
-}
-
-// storeBlob writes the encoded workload atomically (temp file + rename), so
-// concurrent processes sharing a cache directory never observe a torn file.
-func (c *Cache) storeBlob(key Key, w *sim.Workload) error {
-	f, err := os.CreateTemp(c.dir, key.filename()+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	_, werr := f.Write(Encode(w, key.Hash()))
-	cerr := f.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, filepath.Join(c.dir, key.filename()))
-	}
-	if werr != nil {
-		os.Remove(tmp)
-	}
-	return werr
 }
 
 // copyHeader returns a workload sharing the entry's access/phase storage but
