@@ -42,6 +42,7 @@ import (
 	"offchip/internal/core"
 	"offchip/internal/experiments"
 	"offchip/internal/layout"
+	"offchip/internal/mem"
 	"offchip/internal/obs"
 	"offchip/internal/prof"
 	"offchip/internal/runner"
@@ -71,6 +72,7 @@ func main() {
 	benchSweepd := flag.String("bench-sweepd", "", "measure the sweep in-process vs on a worker-process fleet; write wall clocks to this JSON file")
 	cacheFlag := flag.String("trace-cache", "", `memoize trace generation across experiments: "mem" (in-process) or a directory for a persistent cache`)
 	sampleFlag := flag.String("sample", "", `sampled simulation for job-sharded experiments: off | on | w<windows>f<fraction>u<warmup>r<replicates>`)
+	migrateFlag := flag.String("migrate", "", `hot-page migration spec for figmig's dynamic/hybrid runs: on | h<thr>w<win>c<cool>f<flits>t<stall> (default "on")`)
 	profFlag := flag.Bool("prof", false, "attach the latency-attribution profiler to every job and print the sweep-wide differential attribution")
 	serveAddr := flag.String("serve", "", "serve the live sweep observability plane (/metrics, /progress, /profile) on this address")
 	sweepOut := flag.String("sweep-out", "", "write the sweep's merged registry as JSONL, plus a .manifest.json provenance record")
@@ -95,6 +97,11 @@ func main() {
 		fail(err)
 	} else if sp != nil {
 		cfg.Sample = sp.String()
+	}
+	if sp, err := mem.ParseMigrationSpec(*migrateFlag); err != nil {
+		fail(err)
+	} else if sp != nil {
+		cfg.Migrate = sp.String()
 	}
 	if *quick {
 		cfg.MaxAccessesPerThread = 200

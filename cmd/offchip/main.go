@@ -6,6 +6,7 @@
 //	offchip -src kernel.alc -show          # also print the transformed forms
 //	offchip -app apsi                      # use a built-in benchmark kernel
 //	offchip -app apsi -l2 shared -mapping m2
+//	offchip -app apsi -interleave page -policy ftnearest -migrate on
 //
 // The report shows the per-array transformation decisions (Table 2 style),
 // the Figure 9(c) customized reference forms, and the baseline/optimized/
@@ -55,6 +56,7 @@ import (
 	"offchip/internal/experiments"
 	"offchip/internal/ir"
 	"offchip/internal/layout"
+	"offchip/internal/mem"
 	"offchip/internal/obs"
 	"offchip/internal/prof"
 	"offchip/internal/runner"
@@ -78,6 +80,8 @@ func run() error {
 	l2 := flag.String("l2", "private", "last-level cache: private | shared")
 	mapping := flag.String("mapping", "m1", "L2-to-MC mapping: m1 | m2")
 	interleave := flag.String("interleave", "line", "physical address interleaving: line | page")
+	policy := flag.String("policy", "interleaved", "baseline page-placement policy: interleaved | firsttouch | ftnearest | osassisted")
+	migrate := flag.String("migrate", "off", `online hot-page migration for the baseline and optimized runs (requires -interleave page): off | on | h<thr>w<win>c<cool>f<flits>t<stall>`)
 	show := flag.Bool("show", false, "print the transformed reference forms")
 	simulate := flag.Bool("sim", true, "run the baseline/optimized/optimal simulation")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the optimized run (chrome://tracing, Perfetto)")
@@ -235,6 +239,22 @@ func run() error {
 
 	wantProf := *profFlag || *profFolded != "" || *profPprof != ""
 	opt := core.Options{Concurrent: *parallel, Seed: *seed, Check: *checkRun, Prof: wantProf}
+	switch *policy {
+	case "interleaved":
+	case "firsttouch":
+		opt.BaselinePolicy = sim.PolicyFirstTouch
+	case "ftnearest":
+		opt.BaselinePolicy = sim.PolicyFirstTouchNearest
+	case "osassisted":
+		opt.BaselinePolicy = sim.PolicyOSAssisted
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+	migSpec, err := mem.ParseMigrationSpec(*migrate)
+	if err != nil {
+		return err
+	}
+	opt.Migrate = migSpec
 	if *cacheFlag != "" {
 		dir := *cacheFlag
 		if dir == "mem" {
@@ -325,10 +345,13 @@ func run() error {
 	manifest.Config = map[string]string{
 		"app": bench.Name, "l2": *l2, "mapping": *mapping, "interleave": *interleave,
 		"check": strconv.FormatBool(*checkRun), "prof": strconv.FormatBool(wantProf),
-		"trace-cache": *cacheFlag,
+		"trace-cache": *cacheFlag, "policy": *policy,
 	}
 	if sampleSpec != nil {
 		manifest.Config["sample"] = sampleSpec.String()
+	}
+	if migSpec != nil {
+		manifest.Config["migrate"] = migSpec.String()
 	}
 
 	c, err := core.Compare(bench, m, cm, opt)
@@ -372,6 +395,11 @@ func run() error {
 	t.AddF("off-chip net latency", c.Baseline.OffChipNetAvg, c.Optimized.OffChipNetAvg, c.Optimal.OffChipNetAvg, stats.Pct(c.OffChipNetImprovement()))
 	t.AddF("off-chip mem latency", c.Baseline.MemAvg, c.Optimized.MemAvg, c.Optimal.MemAvg, stats.Pct(c.MemImprovement()))
 	t.AddF("off-chip queue wait", c.Baseline.QueueAvg, c.Optimized.QueueAvg, c.Optimal.QueueAvg, stats.Pct(c.QueueImprovement()))
+	if c.Baseline.Migrations+c.Optimized.Migrations > 0 {
+		t.AddF("page migrations", c.Baseline.Migrations, c.Optimized.Migrations, c.Optimal.Migrations, "-")
+		t.AddF("migration copy msgs", c.Baseline.MigCopyMsgs, c.Optimized.MigCopyMsgs, c.Optimal.MigCopyMsgs, "-")
+		t.AddF("migration stall cycles", c.Baseline.MigStallCycles, c.Optimized.MigStallCycles, c.Optimal.MigStallCycles, "-")
+	}
 	fmt.Println(t.String())
 
 	if sampleSpec != nil && len(c.Sampled) > 0 {

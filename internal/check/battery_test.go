@@ -12,9 +12,11 @@ import (
 
 	"offchip/internal/check"
 	"offchip/internal/core"
+	"offchip/internal/ir"
 	"offchip/internal/layout"
 	"offchip/internal/mem"
 	"offchip/internal/sim"
+	"offchip/internal/trace"
 	"offchip/internal/workloads"
 )
 
@@ -227,6 +229,110 @@ func TestAddressMapBothInterleaves(t *testing.T) {
 		}
 		for _, v := range check.AddressMap(cfg, 4096) {
 			t.Errorf("%v: %s", gran, v)
+		}
+	}
+}
+
+// migBatterySetup builds a page-interleaved machine and the app's
+// identity-layout baseline trace for the migration relations. The layout
+// optimizer is skipped deliberately: it refuses shared L2 under page
+// interleaving (a compiler constraint), while the migration engine runs
+// under the OS-default layout where no compiler pass is involved.
+func migBatterySetup(t *testing.T, appName string, l2 layout.CacheKind) (sim.Config, *sim.Workload) {
+	t.Helper()
+	app, ok := workloads.ByName(appName)
+	if !ok {
+		t.Fatalf("workload %s missing", appName)
+	}
+	m := layout.Default8x8()
+	m.L2 = l2
+	m.Interleave = layout.PageInterleave
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(m.MeshX, m.MeshY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := batteryOptions()
+	p, store, err := app.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := &layout.Result{Program: p, Layouts: map[*ir.Array]*layout.ArrayLayout{}}
+	w, err := trace.Generate(p, identity, m, store, trace.Options{MaxAccessesPerThread: opt.MaxAccessesPerThread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SimConfig(m, cm, opt)
+	cfg.Policy = sim.PolicyFirstTouchNearest
+	return cfg, w
+}
+
+// TestMetamorphicCheaperMigrationCost: with the migration *decisions* held
+// fixed (same threshold, window, cooldown), making each committed migration
+// cheaper — fewer copy flits, no TLB-shootdown stall — can never slow the
+// run. Every run carries the full invariant checker, so each live remap is
+// also bijection-checked at commit time.
+func TestMetamorphicCheaperMigrationCost(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := migBatterySetup(t, name, l2)
+			costly := cfg
+			costly.Migrate = &mem.MigrationSpec{HotThreshold: 2, WindowCycles: 256, CooldownWindows: 1, CopyFlits: 8, ShootdownCycles: 128}
+			slow := checkedRun(t, costly, w, name+"/mig-costly")
+			cheap := cfg
+			cheap.Migrate = &mem.MigrationSpec{HotThreshold: 2, WindowCycles: 256, CooldownWindows: 1, CopyFlits: 1, ShootdownCycles: 0}
+			quick := checkedRun(t, cheap, w, name+"/mig-cheap")
+			if slow.Migrations == 0 {
+				t.Errorf("%s/%v: no migrations fired; the relation is vacuous", name, l2)
+			}
+			if quick.ExecTime > slow.ExecTime {
+				t.Errorf("%s/%v: cheaper migration cost slowed the run: %d > %d",
+					name, l2, quick.ExecTime, slow.ExecTime)
+			}
+		}
+	}
+}
+
+// TestMetamorphicLargerCooldown: lengthening the post-migration cooldown
+// only removes trigger opportunities, so the committed migration count can
+// never rise.
+func TestMetamorphicLargerCooldown(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := migBatterySetup(t, name, l2)
+			var prev int64 = -1
+			for _, cool := range []int{0, 2, 8} {
+				c := cfg
+				c.Migrate = &mem.MigrationSpec{HotThreshold: 2, WindowCycles: 256, CooldownWindows: cool, CopyFlits: 4, ShootdownCycles: 16}
+				r := checkedRun(t, c, w, name+"/mig-cooldown")
+				for _, v := range check.VerifyTotals(r.Totals(w, &c)) {
+					t.Errorf("%s/%v cooldown %d: %s", name, l2, cool, v)
+				}
+				if prev >= 0 && r.Migrations > prev {
+					t.Errorf("%s/%v: cooldown %d raised the migration count: %d > %d",
+						name, l2, cool, r.Migrations, prev)
+				}
+				prev = r.Migrations
+			}
+		}
+	}
+}
+
+// TestMigrationBatteryConserved runs the engine hot with every probe live
+// over the metamorphic subset: live remaps must leave the conservation
+// identities intact and every per-remap bijection check clean, window after
+// window.
+func TestMigrationBatteryConserved(t *testing.T) {
+	for _, name := range metamorphicApps {
+		for _, l2 := range []layout.CacheKind{layout.PrivateL2, layout.SharedL2} {
+			cfg, w := migBatterySetup(t, name, l2)
+			cfg.Migrate = &mem.MigrationSpec{HotThreshold: 2, WindowCycles: 256, CooldownWindows: 1, CopyFlits: 4, ShootdownCycles: 16}
+			r := checkedRun(t, cfg, w, name+"/mig-conserved")
+			for _, v := range check.VerifyTotals(r.Totals(w, &cfg)) {
+				t.Errorf("%s/%v: %s", name, l2, v)
+			}
+			if r.Migrations > 0 && r.MigCopyMsgs == 0 {
+				t.Errorf("%s/%v: %d migrations but no copy traffic", name, l2, r.Migrations)
+			}
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"offchip/internal/check"
 	"offchip/internal/ir"
 	"offchip/internal/layout"
+	"offchip/internal/mem"
 	"offchip/internal/noc"
 	"offchip/internal/obs"
 	"offchip/internal/prof"
@@ -79,6 +80,12 @@ type Options struct {
 	// Cached streams are byte-identical to freshly generated ones, so the
 	// cache is purely a wall-clock lever. Nil disables caching.
 	TraceCache *tracecache.Cache
+	// Migrate, when set, attaches the online hot-page migration engine to
+	// the baseline and optimized runs (never the optimal scheme, which
+	// already serves every request from the nearest controller). Requires
+	// page interleaving; see mem.MigrationSpec. Nil (the default) keeps the
+	// static policies bit-identical to their historical results.
+	Migrate *mem.MigrationSpec
 	// Sample, when set, replaces each full simulation with SMARTS-style
 	// sampled simulation over the same traces (see sim.SampleSpec): metrics
 	// become window-extrapolated estimates with confidence bounds, recorded
@@ -100,6 +107,11 @@ type Metrics struct {
 	HopCDFOff     []float64
 	AccessMap     [][]int64 // [node][mc] off-chip requests (Figure 13)
 	AppExecTime   map[int]int64
+
+	// Online page migration (zero unless Options.Migrate fired).
+	Migrations     int64
+	MigCopyMsgs    int64
+	MigStallCycles int64
 }
 
 func queueAvg(r *sim.Result) float64 {
@@ -111,17 +123,20 @@ func queueAvg(r *sim.Result) float64 {
 
 func distill(r *sim.Result) Metrics {
 	return Metrics{
-		ExecTime:      r.ExecTime,
-		OnChipNetAvg:  r.AvgNetLatency(noc.OnChip),
-		OffChipNetAvg: r.AvgNetLatency(noc.OffChip),
-		MemAvg:        r.AvgMemLatency(),
-		QueueAvg:      queueAvg(r),
-		OffChipShare:  r.OffChipShare(),
-		AvgQueueOcc:   r.AvgQueueOcc,
-		HopCDFOn:      r.HopCDF[noc.OnChip],
-		HopCDFOff:     r.HopCDF[noc.OffChip],
-		AccessMap:     r.AccessMap,
-		AppExecTime:   r.AppExecTime,
+		ExecTime:       r.ExecTime,
+		OnChipNetAvg:   r.AvgNetLatency(noc.OnChip),
+		OffChipNetAvg:  r.AvgNetLatency(noc.OffChip),
+		MemAvg:         r.AvgMemLatency(),
+		QueueAvg:       queueAvg(r),
+		OffChipShare:   r.OffChipShare(),
+		AvgQueueOcc:    r.AvgQueueOcc,
+		HopCDFOn:       r.HopCDF[noc.OnChip],
+		HopCDFOff:      r.HopCDF[noc.OffChip],
+		AccessMap:      r.AccessMap,
+		AppExecTime:    r.AppExecTime,
+		Migrations:     r.Migrations,
+		MigCopyMsgs:    r.MigCopyMsgs,
+		MigStallCycles: r.MigStallCycles,
 	}
 }
 
@@ -225,6 +240,7 @@ func SimConfig(m layout.Machine, cm *layout.ClusterMapping, opt Options) sim.Con
 		cfg.NoC.Contention = false
 	}
 	cfg.Seed = opt.Seed
+	cfg.Migrate = opt.Migrate
 	return cfg
 }
 
@@ -314,6 +330,9 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 
 	idealCfg := cfg
 	idealCfg.OptimalOffchip = true
+	// The optimal scheme is the migration engine's fixed point — every
+	// request already goes to the nearest controller — so it never migrates.
+	idealCfg.Migrate = nil
 	attach(&idealCfg, "optimal")
 
 	type simJob struct {
@@ -406,16 +425,19 @@ func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, op
 // come from the aggregated measured windows.
 func distillSampled(sr *sim.SampledResult) Metrics {
 	return Metrics{
-		ExecTime:      int64(sr.Est.ExecTime.Mean + 0.5),
-		OnChipNetAvg:  sr.Est.OnChipNetAvg.Mean,
-		OffChipNetAvg: sr.Est.OffChipNetAvg.Mean,
-		MemAvg:        sr.Est.MemAvg.Mean,
-		QueueAvg:      sr.Est.QueueAvg.Mean,
-		OffChipShare:  sr.Est.OffChipShare.Mean,
-		AvgQueueOcc:   sr.Est.AvgQueueOcc.Mean,
-		HopCDFOn:      sr.Aggregate.HopCDF[noc.OnChip],
-		HopCDFOff:     sr.Aggregate.HopCDF[noc.OffChip],
-		AccessMap:     sr.Aggregate.AccessMap,
-		AppExecTime:   sr.AppExecTime,
+		ExecTime:       int64(sr.Est.ExecTime.Mean + 0.5),
+		OnChipNetAvg:   sr.Est.OnChipNetAvg.Mean,
+		OffChipNetAvg:  sr.Est.OffChipNetAvg.Mean,
+		MemAvg:         sr.Est.MemAvg.Mean,
+		QueueAvg:       sr.Est.QueueAvg.Mean,
+		OffChipShare:   sr.Est.OffChipShare.Mean,
+		AvgQueueOcc:    sr.Est.AvgQueueOcc.Mean,
+		HopCDFOn:       sr.Aggregate.HopCDF[noc.OnChip],
+		HopCDFOff:      sr.Aggregate.HopCDF[noc.OffChip],
+		AccessMap:      sr.Aggregate.AccessMap,
+		AppExecTime:    sr.AppExecTime,
+		Migrations:     sr.Aggregate.Migrations,
+		MigCopyMsgs:    sr.Aggregate.MigCopyMsgs,
+		MigStallCycles: sr.Aggregate.MigStallCycles,
 	}
 }

@@ -42,6 +42,10 @@ type Config struct {
 	// streams are byte-identical to freshly generated ones, and job IDs are
 	// unchanged.
 	TraceCache *tracecache.Cache
+	// Migrate selects the hot-page migration spec FigMig's dynamic and
+	// hybrid runs use: "" means the default mem.MigrationSpec ("on"), or a
+	// compact spec like "h16w1024c2f0t64". Other experiments ignore it.
+	Migrate string
 	// Sample enables sampled simulation for the job-sharded experiments:
 	// "" runs exact full simulations (the historical results), "on" the
 	// default sim.SampleSpec, or a compact spec like "w4f0.1u1r1".
@@ -274,7 +278,7 @@ func AllIDs() []string {
 	return []string{
 		"fig3", "fig4", "table2", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-		"fig24", "fig25",
+		"fig24", "fig25", "figmig",
 	}
 }
 
@@ -338,6 +342,9 @@ func Run(id string, cfg Config) (string, error) {
 			return "", err
 		}
 		return r.Table(), nil
+	case "figmig":
+		r, err := FigMig(cfg)
+		return render(r, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(AllIDs(), ", "))
 	}

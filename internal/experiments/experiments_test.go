@@ -27,8 +27,8 @@ func TestUnknownApp(t *testing.T) {
 
 func TestAllIDsRunnable(t *testing.T) {
 	ids := AllIDs()
-	if len(ids) != 16 {
-		t.Fatalf("%d experiment IDs, want 16 (15 figures + Table 2)", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("%d experiment IDs, want 17 (15 paper figures + Table 2 + figmig)", len(ids))
 	}
 }
 

@@ -53,6 +53,13 @@ func TestGoldenFigures(t *testing.T) {
 			}
 			return r.Table(), nil
 		}},
+		{"figmig", func() (string, error) {
+			r, err := FigMig(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

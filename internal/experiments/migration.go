@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"offchip/internal/mem"
+	"offchip/internal/runner"
+)
+
+// figMigJobsPerApp is the job count FigMig enumerates per application, in
+// fixed order: the page-interleaved OS-default baseline (the reference
+// execution time), the paper's static compiler layout, first-touch-nearest
+// (the FCFS placement of the dynamic rival family), dynamic migration on
+// top of first-touch-nearest, and the hybrid (compiler layout + residual
+// migration).
+const figMigJobsPerApp = 5
+
+// FigMig is the repro's first beyond-the-paper figure: the static
+// compiler-directed layout head-to-head against the online placement family
+// (first-touch-nearest and window-based hot-page migration, the
+// FCFSTranslation/DynamicTranslation3 rivals), plus the hybrid that starts
+// from the compiler layout and migrates residual hot pages. All runs use
+// page interleaving; exec% columns are execution-time improvement over the
+// page-interleaved round-robin baseline, and the migration columns count
+// committed page remaps — every one paid for with page-copy flits through
+// the NoC and TLB-shootdown stalls (see mem.MigrationSpec).
+func FigMig(cfg Config) (*FigResult, error) {
+	apps, err := cfg.apps()
+	if err != nil {
+		return nil, err
+	}
+	mig := cfg.Migrate
+	if mig == "" {
+		mig = "on"
+	}
+	if _, err := mem.ParseMigrationSpec(mig); err != nil {
+		return nil, fmt.Errorf("figmig: %w", err)
+	}
+	specs := make([]runner.JobSpec, 0, len(apps)*figMigJobsPerApp)
+	for _, app := range apps {
+		base := cfg.spec(runner.ModeBaseline, app.Name)
+		base.Interleave = "page"
+		p2 := base
+		p2.Mode = runner.ModeOptimized
+		ft := base
+		ft.Policy = "ftnearest"
+		dyn := ft
+		dyn.Migrate = mig
+		hyb := p2
+		hyb.Migrate = mig
+		specs = append(specs, base, p2, ft, dyn, hyb)
+	}
+	res, err := cfg.runJobs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figmig: %w", err)
+	}
+	f := &FigResult{
+		ID:    "figmig",
+		Title: "static compiler layout vs. online page migration (exec improvement over page-interleaved default)",
+		Columns: []string{
+			"static-p2 exec%", "ftnearest exec%", "dynamic exec%", "hybrid exec%",
+			"dyn-migs", "hyb-migs",
+		},
+	}
+	for i, app := range apps {
+		outs := res.Outcomes[i*figMigJobsPerApp : (i+1)*figMigJobsPerApp]
+		baseT := float64(outs[0].Run.ExecTime)
+		imp := func(o *runner.JobOutcome) float64 {
+			if baseT == 0 {
+				return 0
+			}
+			return 100 * (baseT - float64(o.Run.ExecTime)) / baseT
+		}
+		f.Rows = append(f.Rows, AppRow{App: app.Name, Values: []float64{
+			imp(outs[1]), imp(outs[2]), imp(outs[3]), imp(outs[4]),
+			float64(outs[3].Run.Migrations), float64(outs[4].Run.Migrations),
+		}})
+	}
+	f.finish()
+	return f, nil
+}

@@ -93,7 +93,8 @@ type AddressSpace struct {
 
 	pages   map[int64]int64 // vpage → physical page index (relative)
 	nextOf  []int64         // per-MC next page slot
-	allocOf []int64         // per-MC allocated page count
+	allocOf []int64         // per-MC allocated (live) page count
+	freeOf  [][]int64       // per-MC FIFO of physical pages freed by Remap
 	Spills  int64           // allocations redirected by a full controller
 }
 
@@ -114,6 +115,7 @@ func NewAddressSpace(cfg Config, base int64, policy Policy) *AddressSpace {
 		pages:   map[int64]int64{},
 		nextOf:  make([]int64, cfg.NumMCs),
 		allocOf: make([]int64, cfg.NumMCs),
+		freeOf:  make([][]int64, cfg.NumMCs),
 	}
 }
 
@@ -153,13 +155,107 @@ func (as *AddressSpace) allocate(vpage int64, core, desiredMC int) int64 {
 		mc = best
 		as.Spills++
 	}
+	as.allocOf[mc]++
+	if fl := as.freeOf[mc]; len(fl) > 0 {
+		// Reuse a frame freed by a migration before extending the heap.
+		ppage := fl[0]
+		as.freeOf[mc] = fl[1:]
+		return ppage
+	}
 	// Physical pages are striped so that page p maps to MC p mod NumMCs
 	// (the page-interleaving of Figure 5); slot s of controller mc is page
 	// s·NumMCs + mc.
 	slot := as.nextOf[mc]
 	as.nextOf[mc]++
-	as.allocOf[mc]++
 	return slot*int64(as.cfg.NumMCs) + int64(mc)
+}
+
+// PageMC reports the controller currently hosting a virtual page, or false
+// if the page has never been touched. Only meaningful under page
+// interleaving, where a page lives wholly on one controller.
+func (as *AddressSpace) PageMC(vpage int64) (int, bool) {
+	ppage, ok := as.pages[vpage]
+	if !ok {
+		return 0, false
+	}
+	return int(ppage % int64(as.cfg.NumMCs)), true
+}
+
+// Remap moves a virtual page to a fresh physical frame on controller toMC,
+// returning the frame's old controller. The old frame joins toMC's donor
+// free list for reuse by later allocations, so the vpage→ppage map stays a
+// bijection at every instant: the page is re-homed atomically, never
+// double-homed or lost. Remap refuses (ok=false) when the page was never
+// touched, already lives on toMC, or toMC is at its PagesPerMC capacity.
+func (as *AddressSpace) Remap(vpage int64, toMC int) (from int, ok bool) {
+	ppage, touched := as.pages[vpage]
+	if !touched {
+		return 0, false
+	}
+	from = int(ppage % int64(as.cfg.NumMCs))
+	if from == toMC {
+		return from, false
+	}
+	if as.cfg.PagesPerMC > 0 && as.allocOf[toMC] >= as.cfg.PagesPerMC {
+		return from, false
+	}
+	as.allocOf[toMC]++
+	var newpp int64
+	if fl := as.freeOf[toMC]; len(fl) > 0 {
+		newpp = fl[0]
+		as.freeOf[toMC] = fl[1:]
+	} else {
+		slot := as.nextOf[toMC]
+		as.nextOf[toMC]++
+		newpp = slot*int64(as.cfg.NumMCs) + int64(toMC)
+	}
+	as.pages[vpage] = newpp
+	as.allocOf[from]--
+	as.freeOf[from] = append(as.freeOf[from], ppage)
+	return from, true
+}
+
+// VerifyBijection checks the translation state's structural invariants:
+// every mapped physical frame is unique (no page double-homed), lies below
+// its controller's allocation cursor, and is absent from every free list;
+// free-listed frames are themselves unique; and each controller's live count
+// equals its mapped frames. It returns the first violation found.
+func (as *AddressSpace) VerifyBijection() error {
+	n := int64(as.cfg.NumMCs)
+	free := map[int64]bool{}
+	for mc, fl := range as.freeOf {
+		for _, pp := range fl {
+			if pp%n != int64(mc) {
+				return fmt.Errorf("mem: free frame %d on MC %d's list, belongs to MC %d", pp, mc, pp%n)
+			}
+			if free[pp] {
+				return fmt.Errorf("mem: frame %d free-listed twice", pp)
+			}
+			free[pp] = true
+		}
+	}
+	seen := map[int64]int64{}
+	live := make([]int64, as.cfg.NumMCs)
+	for vp, pp := range as.pages {
+		if prev, dup := seen[pp]; dup {
+			return fmt.Errorf("mem: frame %d double-homed by vpages %d and %d", pp, prev, vp)
+		}
+		seen[pp] = vp
+		if free[pp] {
+			return fmt.Errorf("mem: vpage %d maps to free-listed frame %d", vp, pp)
+		}
+		mc := pp % n
+		if pp/n >= as.nextOf[mc] {
+			return fmt.Errorf("mem: vpage %d maps to unallocated frame %d (MC %d cursor %d)", vp, pp, mc, as.nextOf[mc])
+		}
+		live[mc]++
+	}
+	for mc, want := range live {
+		if as.allocOf[mc] != want {
+			return fmt.Errorf("mem: MC %d live count %d, page table says %d", mc, as.allocOf[mc], want)
+		}
+	}
+	return nil
 }
 
 // MCOf returns the controller a physical address maps to under the
@@ -207,6 +303,7 @@ type TranslationSnapshot struct {
 	pages   map[int64]int64
 	nextOf  []int64
 	allocOf []int64
+	freeOf  [][]int64
 	spills  int64
 	polKind int // 0 stateless, 1 interleaved, 2 os-assisted
 	polNext int
@@ -220,7 +317,11 @@ func (as *AddressSpace) Snapshot() *TranslationSnapshot {
 		pages:   make(map[int64]int64, len(as.pages)),
 		nextOf:  append([]int64(nil), as.nextOf...),
 		allocOf: append([]int64(nil), as.allocOf...),
+		freeOf:  make([][]int64, len(as.freeOf)),
 		spills:  as.Spills,
+	}
+	for mc, fl := range as.freeOf {
+		s.freeOf[mc] = append([]int64(nil), fl...)
 	}
 	for k, v := range as.pages {
 		s.pages[k] = v
@@ -243,6 +344,10 @@ func (as *AddressSpace) Restore(s *TranslationSnapshot) {
 	}
 	as.nextOf = append(as.nextOf[:0], s.nextOf...)
 	as.allocOf = append(as.allocOf[:0], s.allocOf...)
+	as.freeOf = make([][]int64, as.cfg.NumMCs)
+	for mc, fl := range s.freeOf {
+		as.freeOf[mc] = append([]int64(nil), fl...)
+	}
 	as.Spills = s.spills
 	switch p := as.policy.(type) {
 	case *InterleavedPolicy:

@@ -1,0 +1,287 @@
+// Online page migration: the dynamic rival to the paper's static,
+// compiler-directed layout. The competitor family follows the thesis repo's
+// Ramulator2 policies (FCFSTranslation / DynamicTranslation3): map a page to
+// the controller nearest its *first* accessor, then keep per-page access
+// distributions over fixed cycle windows and migrate a page whose dominant
+// accessor crosses a hot threshold to that accessor's nearest controller.
+// This file holds the pure decision machinery — the spec with its canonical
+// string form (embedded in job IDs), the window/counter/cooldown engine, and
+// the page-table remap — while internal/sim injects the modeled migration
+// cost (page-copy flits through the NoC, TLB-shootdown stalls on the
+// sharers).
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MigrationSpec configures the hot-page migration engine. The zero value is
+// not valid; use DefaultMigrationSpec or ParseMigrationSpec.
+type MigrationSpec struct {
+	// HotThreshold is the number of touches by a page's dominant accessor
+	// within one window that triggers a migration toward that accessor's
+	// nearest controller. An effectively infinite threshold (or zero
+	// WindowCycles) makes the engine provably inert.
+	HotThreshold int
+	// WindowCycles is the access-distribution window length in simulated
+	// cycles. Zero disables window rollover entirely: counters accumulate
+	// but no migration can ever trigger.
+	WindowCycles int64
+	// CooldownWindows freezes a migrated page for this many subsequent
+	// windows, preventing ping-pong between two alternating accessors.
+	CooldownWindows int
+	// CopyFlits is the number of line-sized messages a page copy injects
+	// through the NoC from the old controller's node to the new one's.
+	// Zero derives PageBytes/LineBytes from the machine.
+	CopyFlits int
+	// ShootdownCycles is the TLB-shootdown stall charged to every core that
+	// touched the page in the triggering window, applied when the remap
+	// commits.
+	ShootdownCycles int64
+}
+
+// DefaultMigrationSpec returns the migration configuration "on" selects.
+// The thresholds are calibrated to the footprint-scaled workloads: windows
+// of 1024 cycles see hundreds of touches per hot page, so a dominant
+// accessor with 16 touches is well past noise, and two cooldown windows
+// stop the alternating-accessor ping-pong the unit tests pin down.
+func DefaultMigrationSpec() MigrationSpec {
+	return MigrationSpec{
+		HotThreshold:    16,
+		WindowCycles:    1024,
+		CooldownWindows: 2,
+		CopyFlits:       0,
+		ShootdownCycles: 64,
+	}
+}
+
+// Validate rejects non-runnable specs.
+func (s MigrationSpec) Validate() error {
+	if s.HotThreshold <= 0 {
+		return fmt.Errorf("mem: migration hot threshold %d, want >= 1", s.HotThreshold)
+	}
+	if s.WindowCycles < 0 {
+		return fmt.Errorf("mem: migration window %d cycles, want >= 0", s.WindowCycles)
+	}
+	if s.CooldownWindows < 0 {
+		return fmt.Errorf("mem: migration cooldown %d windows, want >= 0", s.CooldownWindows)
+	}
+	if s.CopyFlits < 0 {
+		return fmt.Errorf("mem: migration copy flits %d, want >= 0", s.CopyFlits)
+	}
+	if s.ShootdownCycles < 0 {
+		return fmt.Errorf("mem: migration shootdown %d cycles, want >= 0", s.ShootdownCycles)
+	}
+	return nil
+}
+
+// String renders the canonical compact form h<thr>w<win>c<cool>f<flits>t<stall>.
+// It round-trips through ParseMigrationSpec, so job IDs embed it verbatim.
+func (s MigrationSpec) String() string {
+	return fmt.Sprintf("h%dw%dc%df%dt%d",
+		s.HotThreshold, s.WindowCycles, s.CooldownWindows, s.CopyFlits, s.ShootdownCycles)
+}
+
+// ParseMigrationSpec parses the compact form. "" and "off" mean migration
+// disabled (nil); "on" means the defaults.
+func ParseMigrationSpec(s string) (*MigrationSpec, error) {
+	switch s {
+	case "", "off":
+		return nil, nil
+	case "on":
+		sp := DefaultMigrationSpec()
+		return &sp, nil
+	}
+	rest, ok := strings.CutPrefix(s, "h")
+	if !ok {
+		return nil, fmt.Errorf("mem: migration spec %q: want \"on\", \"off\", or h<thr>w<win>c<cool>f<flits>t<stall>", s)
+	}
+	hs, rest, ok := strings.Cut(rest, "w")
+	if !ok {
+		return nil, fmt.Errorf("mem: migration spec %q lacks the w<window> field", s)
+	}
+	ws, rest, ok := strings.Cut(rest, "c")
+	if !ok {
+		return nil, fmt.Errorf("mem: migration spec %q lacks the c<cooldown> field", s)
+	}
+	cs, rest, ok := strings.Cut(rest, "f")
+	if !ok {
+		return nil, fmt.Errorf("mem: migration spec %q lacks the f<flits> field", s)
+	}
+	fs, ts, ok := strings.Cut(rest, "t")
+	if !ok {
+		return nil, fmt.Errorf("mem: migration spec %q lacks the t<shootdown> field", s)
+	}
+	var sp MigrationSpec
+	var err error
+	if sp.HotThreshold, err = strconv.Atoi(hs); err != nil {
+		return nil, fmt.Errorf("mem: migration threshold %q: %w", hs, err)
+	}
+	if sp.WindowCycles, err = strconv.ParseInt(ws, 10, 64); err != nil {
+		return nil, fmt.Errorf("mem: migration window %q: %w", ws, err)
+	}
+	if sp.CooldownWindows, err = strconv.Atoi(cs); err != nil {
+		return nil, fmt.Errorf("mem: migration cooldown %q: %w", cs, err)
+	}
+	if sp.CopyFlits, err = strconv.Atoi(fs); err != nil {
+		return nil, fmt.Errorf("mem: migration flits %q: %w", fs, err)
+	}
+	if sp.ShootdownCycles, err = strconv.ParseInt(ts, 10, 64); err != nil {
+		return nil, fmt.Errorf("mem: migration shootdown %q: %w", ts, err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// PageID names one virtual page of one application's address space.
+type PageID struct {
+	App   int
+	VPage int64
+}
+
+// Migration is one remap decision the engine produced at a window boundary.
+type Migration struct {
+	Page     PageID
+	From, To int   // controllers
+	Dominant int   // the core whose touches triggered the migration
+	Count    int32 // the dominant core's touches in the window
+	Sharers  []int // every core that touched the page in the window, ascending
+}
+
+// pageStat is one page's live migration state. Counters are reset lazily on
+// the first touch of a new window, so idle pages cost nothing per window.
+type pageStat struct {
+	counts        []int32 // per-core touches within window `window`
+	window        int64   // window index the counters belong to
+	cooldownUntil int64   // first window index whose close may migrate again
+	pending       bool    // a migration is in flight; frozen until Completed
+}
+
+// Migrator is the window/counter/cooldown decision engine. It is pure
+// bookkeeping — no clocks, no cost model — so the edge cases (threshold
+// exactly met, dominant-accessor ties, cooldown expiry, ping-pong damping)
+// are table-testable in isolation. internal/sim drives it: Touch on every
+// reference, Roll at each window boundary, Completed when a remap commits.
+type Migrator struct {
+	spec  MigrationSpec
+	cores int
+	// NearestMC maps a core to its nearest controller (by mesh hops) — the
+	// migration target of a page that core dominates.
+	nearestMC func(core int) int
+
+	window int64 // index of the currently open window
+	pages  map[PageID]*pageStat
+	order  []PageID // first-touch order within the open window (determinism)
+}
+
+// NewMigrator builds the decision engine for a machine with the given core
+// count. nearestMC maps a core to its nearest controller.
+func NewMigrator(spec MigrationSpec, cores int, nearestMC func(core int) int) *Migrator {
+	return &Migrator{
+		spec:      spec,
+		cores:     cores,
+		nearestMC: nearestMC,
+		pages:     map[PageID]*pageStat{},
+	}
+}
+
+// Spec returns the engine's configuration.
+func (g *Migrator) Spec() MigrationSpec { return g.spec }
+
+// Window returns the index of the currently open window.
+func (g *Migrator) Window() int64 { return g.window }
+
+// Touch counts one reference to the page by the core within the open window.
+func (g *Migrator) Touch(page PageID, core int) {
+	st := g.pages[page]
+	if st == nil {
+		st = &pageStat{counts: make([]int32, g.cores)}
+		st.window = g.window
+		g.pages[page] = st
+		g.order = append(g.order, page)
+		st.counts[core]++
+		return
+	}
+	if st.window != g.window {
+		for i := range st.counts {
+			st.counts[i] = 0
+		}
+		st.window = g.window
+		g.order = append(g.order, page)
+	}
+	st.counts[core]++
+}
+
+// Roll closes the open window and returns the migrations it triggers, in
+// first-touch order. curMC resolves a page's current home controller (from
+// the live page table). A page migrates when its dominant accessor — ties
+// broken toward the lowest core ID — reached HotThreshold touches, its
+// nearest controller differs from the page's current home, the page is not
+// cooling down, and no earlier migration of it is still in flight.
+func (g *Migrator) Roll(curMC func(PageID) int) []Migration {
+	closed := g.window
+	g.window++
+	var out []Migration
+	for _, pg := range g.order {
+		st := g.pages[pg]
+		if st == nil || st.window != closed {
+			continue
+		}
+		if st.pending || closed < st.cooldownUntil {
+			continue
+		}
+		dom, cnt := -1, int32(0)
+		for core, c := range st.counts {
+			if c > cnt { // strict: ties keep the lowest core ID
+				dom, cnt = core, c
+			}
+		}
+		if dom < 0 || int(cnt) < g.spec.HotThreshold {
+			continue
+		}
+		to := g.nearestMC(dom)
+		from := curMC(pg)
+		if to == from {
+			continue
+		}
+		var sharers []int
+		for core, c := range st.counts {
+			if c > 0 {
+				sharers = append(sharers, core)
+			}
+		}
+		st.pending = true
+		st.cooldownUntil = closed + 1 + int64(g.spec.CooldownWindows)
+		out = append(out, Migration{
+			Page: pg, From: from, To: to,
+			Dominant: dom, Count: cnt, Sharers: sharers,
+		})
+	}
+	g.order = g.order[:0]
+	return out
+}
+
+// Completed marks the page's in-flight migration as committed, unfreezing
+// it for future windows (the cooldown stamped at trigger time still holds).
+func (g *Migrator) Completed(page PageID) {
+	if st := g.pages[page]; st != nil {
+		st.pending = false
+	}
+}
+
+// FirstTouchNearestPolicy allocates a page from the controller *nearest*
+// the first-touching core's mesh node — the FCFSTranslation competitor —
+// rather than the first toucher's cluster controller (FirstTouchPolicy).
+type FirstTouchNearestPolicy struct {
+	// NearestMC maps a core to its nearest controller by mesh hops.
+	NearestMC func(core int) int
+}
+
+// TargetMC implements Policy.
+func (p *FirstTouchNearestPolicy) TargetMC(vpage int64, core, desired int) int {
+	return p.NearestMC(core)
+}

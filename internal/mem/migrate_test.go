@@ -1,0 +1,401 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"offchip/internal/layout"
+)
+
+// nearestByMod is the test stand-in for the mesh's nearest-controller map:
+// core c is nearest controller c mod 4.
+func nearestByMod(core int) int { return core % 4 }
+
+// touchN records n touches of the page by the core.
+func touchN(g *Migrator, pg PageID, core, n int) {
+	for i := 0; i < n; i++ {
+		g.Touch(pg, core)
+	}
+}
+
+// homeAt returns a curMC resolver pinning every page to the one controller.
+func homeAt(mc int) func(PageID) int { return func(PageID) int { return mc } }
+
+func TestMigratorEdgeCases(t *testing.T) {
+	pg := PageID{App: 0, VPage: 7}
+	cases := []struct {
+		name  string
+		spec  MigrationSpec
+		touch func(g *Migrator) // fills the open window
+		home  int               // the page's current controller
+		want  int               // expected migrations out of one Roll
+		to    int               // expected target (when want > 0)
+		dom   int               // expected dominant core (when want > 0)
+	}{
+		{
+			name:  "threshold exactly met",
+			spec:  MigrationSpec{HotThreshold: 16, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) { touchN(g, pg, 5, 16) },
+			home:  0, want: 1, to: 1, dom: 5,
+		},
+		{
+			name:  "one touch short of threshold",
+			spec:  MigrationSpec{HotThreshold: 16, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) { touchN(g, pg, 5, 15) },
+			home:  0, want: 0,
+		},
+		{
+			name: "dominant-accessor tie keeps the lowest core",
+			spec: MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) {
+				touchN(g, pg, 6, 4) // nearest MC 2; ties resolve to core 3 below
+				touchN(g, pg, 3, 4) // nearest MC 3, the lowest tied core ID
+			},
+			home: 0, want: 1, to: 3, dom: 3,
+		},
+		{
+			name:  "already home: no migration",
+			spec:  MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) { touchN(g, pg, 5, 8) },
+			home:  1, want: 0, // core 5's nearest MC is already the home
+		},
+		{
+			name:  "effectively infinite threshold is inert",
+			spec:  MigrationSpec{HotThreshold: 1 << 30, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) { touchN(g, pg, 5, 1000) },
+			home:  0, want: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewMigrator(c.spec, 8, nearestByMod)
+			c.touch(g)
+			migs := g.Roll(homeAt(c.home))
+			if len(migs) != c.want {
+				t.Fatalf("Roll produced %d migrations, want %d: %+v", len(migs), c.want, migs)
+			}
+			if c.want == 0 {
+				return
+			}
+			m := migs[0]
+			if m.Page != pg || m.From != c.home || m.To != c.to || m.Dominant != c.dom {
+				t.Errorf("migration %+v, want page %v %d->%d dominant %d", m, pg, c.home, c.to, c.dom)
+			}
+		})
+	}
+}
+
+func TestMigratorSharersAscending(t *testing.T) {
+	g := NewMigrator(MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1}, 8, nearestByMod)
+	pg := PageID{VPage: 1}
+	touchN(g, pg, 7, 1)
+	touchN(g, pg, 5, 4)
+	touchN(g, pg, 0, 2)
+	migs := g.Roll(homeAt(0))
+	if len(migs) != 1 {
+		t.Fatalf("got %d migrations, want 1", len(migs))
+	}
+	want := []int{0, 5, 7}
+	got := migs[0].Sharers
+	if len(got) != len(want) {
+		t.Fatalf("sharers %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharers %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMigratorPendingFreezesPage(t *testing.T) {
+	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 0, ShootdownCycles: 1}
+	g := NewMigrator(spec, 8, nearestByMod)
+	pg := PageID{VPage: 3}
+	touchN(g, pg, 5, 8)
+	if migs := g.Roll(homeAt(0)); len(migs) != 1 {
+		t.Fatalf("window 0: got %d migrations, want 1", len(migs))
+	}
+	// The remap is still in flight: the page stays hot but must not
+	// re-trigger until Completed.
+	touchN(g, pg, 6, 8)
+	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+		t.Fatalf("pending page re-triggered: %+v", migs)
+	}
+	g.Completed(pg)
+	touchN(g, pg, 6, 8)
+	if migs := g.Roll(homeAt(1)); len(migs) != 1 || migs[0].To != 2 {
+		t.Fatalf("after Completed: got %+v, want one migration to MC 2", migs)
+	}
+}
+
+func TestMigratorCooldownExpiresOnWindowBoundary(t *testing.T) {
+	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 2, ShootdownCycles: 1}
+	g := NewMigrator(spec, 8, nearestByMod)
+	pg := PageID{VPage: 9}
+	hot := func(core int) { touchN(g, pg, core, 8) }
+
+	hot(5)
+	if migs := g.Roll(homeAt(0)); len(migs) != 1 { // closes window 0, cooldown until window 3
+		t.Fatalf("window 0: %d migrations, want 1", len(migs))
+	}
+	g.Completed(pg)
+	for w := 1; w <= 2; w++ { // windows 1 and 2 are cooling
+		hot(6)
+		if migs := g.Roll(homeAt(1)); len(migs) != 0 {
+			t.Fatalf("window %d: migrated during cooldown: %+v", w, migs)
+		}
+	}
+	hot(6) // window 3: cooldown expired exactly at this boundary
+	if migs := g.Roll(homeAt(1)); len(migs) != 1 || migs[0].To != 2 {
+		t.Fatalf("window 3: got %+v, want one migration to MC 2", migs)
+	}
+}
+
+// TestMigratorPingPongStabilizes drives the worst case — two accessors on
+// opposite controllers alternating dominance every window — and checks the
+// cooldown bounds the migration rate to at most one per cooldown period,
+// rather than one per window.
+func TestMigratorPingPongStabilizes(t *testing.T) {
+	const windows = 24
+	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 3, ShootdownCycles: 1}
+	g := NewMigrator(spec, 8, nearestByMod)
+	pg := PageID{VPage: 2}
+	home := 0
+	total := 0
+	for w := 0; w < windows; w++ {
+		core := 1 // nearest MC 1
+		if w%2 == 1 {
+			core = 2 // nearest MC 2
+		}
+		touchN(g, pg, core, 8)
+		migs := g.Roll(func(PageID) int { return home })
+		for _, m := range migs {
+			home = m.To
+			g.Completed(m.Page)
+			total++
+		}
+	}
+	// Without damping this would migrate every window once the page leaves
+	// MC 0. With CooldownWindows=3, at most every 4th window can migrate.
+	if max := windows/(spec.CooldownWindows+1) + 1; total > max {
+		t.Errorf("ping-pong: %d migrations in %d windows, want <= %d", total, windows, max)
+	}
+	if total == 0 {
+		t.Error("ping-pong: no migrations at all; the engine never engaged")
+	}
+}
+
+func TestMigratorZeroWindowNeverRolls(t *testing.T) {
+	// WindowCycles=0 means the driver never calls Roll; the engine contract
+	// is just that Touch stays cheap and side-effect-free. Pin that a Roll,
+	// if forced, still migrates nothing when nothing crossed the threshold.
+	g := NewMigrator(MigrationSpec{HotThreshold: 16, WindowCycles: 0, ShootdownCycles: 1}, 8, nearestByMod)
+	touchN(g, PageID{VPage: 1}, 5, 15)
+	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+		t.Fatalf("zero-window roll migrated: %+v", migs)
+	}
+}
+
+func TestParseMigrationSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    *MigrationSpec
+		wantErr bool
+	}{
+		{in: "", want: nil},
+		{in: "off", want: nil},
+		{in: "on", want: &MigrationSpec{HotThreshold: 16, WindowCycles: 1024, CooldownWindows: 2, CopyFlits: 0, ShootdownCycles: 64}},
+		{in: "h8w512c1f16t32", want: &MigrationSpec{HotThreshold: 8, WindowCycles: 512, CooldownWindows: 1, CopyFlits: 16, ShootdownCycles: 32}},
+		{in: "h1w0c0f0t0", want: &MigrationSpec{HotThreshold: 1}},
+		{in: "x8w512c1f16t32", wantErr: true}, // bad prefix
+		{in: "h8w512", wantErr: true},         // truncated
+		{in: "h8w512c1f16t", wantErr: true},   // empty field
+		{in: "h0w512c1f16t32", wantErr: true}, // threshold < 1
+		{in: "h8w-1c1f16t32", wantErr: true},  // negative window
+		{in: "h8w512c-1f0t0", wantErr: true},  // negative cooldown
+	}
+	for _, c := range cases {
+		got, err := ParseMigrationSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseMigrationSpec(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMigrationSpec(%q): %v", c.in, err)
+			continue
+		}
+		if (got == nil) != (c.want == nil) || (got != nil && *got != *c.want) {
+			t.Errorf("ParseMigrationSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got != nil {
+			// The canonical form must round-trip.
+			back, err := ParseMigrationSpec(got.String())
+			if err != nil || *back != *got {
+				t.Errorf("round-trip %q -> %q failed: %+v, %v", c.in, got.String(), back, err)
+			}
+		}
+	}
+}
+
+func FuzzParseMigrationSpec(f *testing.F) {
+	f.Add("on")
+	f.Add("off")
+	f.Add("h16w1024c2f0t64")
+	f.Add("h8w512c1f16t32")
+	f.Add("h-1w1c1f1t1")
+	f.Add("hw512c1f16t32")
+	f.Add("h99999999999999999999w1c1f1t1")
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseMigrationSpec(s)
+		if err != nil {
+			if sp != nil {
+				t.Fatalf("ParseMigrationSpec(%q) returned both a spec and an error", s)
+			}
+			return
+		}
+		if sp == nil {
+			if s != "" && s != "off" {
+				t.Fatalf("ParseMigrationSpec(%q) = nil, nil for a non-disable form", s)
+			}
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("ParseMigrationSpec(%q) accepted an invalid spec: %v", s, err)
+		}
+		// The canonical rendering must parse back to the same spec.
+		canon := sp.String()
+		back, err := ParseMigrationSpec(canon)
+		if err != nil || back == nil || *back != *sp {
+			t.Fatalf("canonical %q of %q does not round-trip: %+v, %v", canon, s, back, err)
+		}
+		if strings.ContainsAny(canon, ", =") {
+			t.Fatalf("canonical form %q contains job-ID delimiter characters", canon)
+		}
+	})
+}
+
+func TestRemapMovesPageAndRecyclesFrame(t *testing.T) {
+	as := NewAddressSpace(pageCfg(), 0, NewInterleavedPolicy(4))
+	// Touch 8 pages: round-robin homes them MC 0..3,0..3.
+	for i := int64(0); i < 8; i++ {
+		as.Translate(i*4096, 0, -1)
+	}
+	if mc, ok := as.PageMC(0); !ok || mc != 0 {
+		t.Fatalf("PageMC(0) = %d,%v, want 0,true", mc, ok)
+	}
+	p0 := as.Translate(100, 0, -1)
+
+	from, ok := as.Remap(0, 2)
+	if !ok || from != 0 {
+		t.Fatalf("Remap(0, 2) = %d,%v, want 0,true", from, ok)
+	}
+	if mc, _ := as.PageMC(0); mc != 2 {
+		t.Fatalf("after remap PageMC(0) = %d, want 2", mc)
+	}
+	p1 := as.Translate(100, 0, -1)
+	if p1 == p0 {
+		t.Fatal("translation unchanged after remap")
+	}
+	if mc := as.MCOf(p1); mc != 2 {
+		t.Fatalf("remapped address on MC %d, want 2", mc)
+	}
+	if err := as.VerifyBijection(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Untouched page, no-op target, and live counts.
+	if _, ok := as.Remap(99, 1); ok {
+		t.Error("Remap of an untouched page succeeded")
+	}
+	if _, ok := as.Remap(0, 2); ok {
+		t.Error("Remap onto the current home succeeded")
+	}
+	if as.AllocOf(0) != 1 || as.AllocOf(2) != 3 {
+		t.Errorf("live counts MC0=%d MC2=%d, want 1 and 3", as.AllocOf(0), as.AllocOf(2))
+	}
+
+	// The freed MC0 frame must be recycled by the next MC0 allocation
+	// before the heap grows.
+	next0 := as.nextOf[0]
+	p8 := as.Translate(8*4096, 0, 0) // round-robin policy is at MC 0 again
+	if mc := as.MCOf(p8); mc != 0 {
+		t.Fatalf("page 8 on MC %d, want 0", mc)
+	}
+	if as.nextOf[0] != next0 {
+		t.Errorf("heap grew (cursor %d -> %d) instead of recycling the freed frame", next0, as.nextOf[0])
+	}
+	if p8/4096 != p0/4096 {
+		t.Errorf("recycled frame %d, want the freed frame %d", p8/4096, p0/4096)
+	}
+	if err := as.VerifyBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapHonorsCapacity(t *testing.T) {
+	cfg := pageCfg()
+	cfg.PagesPerMC = 2
+	as := NewAddressSpace(cfg, 0, NewInterleavedPolicy(4))
+	for i := int64(0); i < 8; i++ { // fills every controller to capacity
+		as.Translate(i*4096, 0, -1)
+	}
+	if _, ok := as.Remap(0, 1); ok {
+		t.Fatal("Remap into a full controller succeeded")
+	}
+	// Free a slot on MC1 by moving one of its pages away... but MC2 is full
+	// too, so first check the refusal is symmetric, then lift the cap.
+	as.cfg.PagesPerMC = 3
+	if _, ok := as.Remap(0, 1); !ok {
+		t.Fatal("Remap refused below capacity")
+	}
+	if err := as.VerifyBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreCarriesFreeLists(t *testing.T) {
+	as := NewAddressSpace(pageCfg(), 0, NewInterleavedPolicy(4))
+	for i := int64(0); i < 8; i++ {
+		as.Translate(i*4096, 0, -1)
+	}
+	as.Remap(0, 2) // MC0 gains a free-listed frame
+	snap := as.Snapshot()
+
+	// Diverge the source: recycle the freed frame.
+	as.Translate(8*4096, 0, -1)
+	if err := as.VerifyBijection(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewAddressSpace(pageCfg(), 0, NewInterleavedPolicy(4))
+	fresh.Restore(snap)
+	if err := fresh.VerifyBijection(); err != nil {
+		t.Fatalf("restored space: %v", err)
+	}
+	if mc, ok := fresh.PageMC(0); !ok || mc != 2 {
+		t.Fatalf("restored PageMC(0) = %d,%v, want 2,true", mc, ok)
+	}
+	// The restored space must replay the same recycling decision.
+	pSrc := as.Translate(8*4096, 0, -1)
+	pRestored := fresh.Translate(8*4096, 0, -1)
+	if pSrc != pRestored {
+		t.Errorf("restored allocation diverged: %d vs %d", pRestored, pSrc)
+	}
+	if err := fresh.VerifyBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstTouchNearestPolicy(t *testing.T) {
+	cfg := pageCfg()
+	as := NewAddressSpace(cfg, 0, &FirstTouchNearestPolicy{NearestMC: nearestByMod})
+	for core := 0; core < 8; core++ {
+		p := as.Translate(int64(core)*4096, core, -1)
+		if mc := as.MCOf(p); mc != core%4 {
+			t.Errorf("core %d's page on MC %d, want %d", core, mc, core%4)
+		}
+	}
+	_ = layout.PageInterleave // keep the import tied to pageCfg's intent
+}

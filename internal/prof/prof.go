@@ -86,8 +86,11 @@ func (c Component) Sub() string { return compSub[c] }
 func (c Component) String() string { return compStage[c] + ";" + compSub[c] }
 
 // StageNames lists the coarse stages in pipeline order — the grouping
-// every per-stage histogram and table iterates in.
-var StageNames = []string{"l1", "l2", "noc-req", "dir", "dram", "noc-resp", "retire"}
+// every per-stage histogram and table iterates in. "migration" is the one
+// stage outside the per-access pipeline: online page migration's copy+stall
+// overhead, observed per committed migration rather than per access, so it
+// sits outside the Attributed()==EndToEnd conservation identity.
+var StageNames = []string{"l1", "l2", "noc-req", "dir", "dram", "noc-resp", "retire", "migration"}
 
 var stageIndex = func() map[string]int {
 	m := make(map[string]int, len(StageNames))
@@ -170,6 +173,10 @@ type Profiler struct {
 	mcService []int64
 	accesses  int64
 	endToEnd  int64
+	// Migration overhead: cycles outside the per-access pipeline (copy
+	// transit + TLB-shootdown stalls), counted per committed migration.
+	migrations int64
+	migCycles  int64
 
 	endHist    *obs.Histogram
 	stageHists []*obs.Histogram // indexed like StageNames
@@ -200,6 +207,8 @@ func (p *Profiler) Bind(params Params) {
 	p.mcService = make([]int64, params.MCs)
 	p.accesses = 0
 	p.endToEnd = 0
+	p.migrations = 0
+	p.migCycles = 0
 	p.violations = nil
 	p.obs = obs.OrNew(params.Obs)
 	p.endHist = p.obs.Reg.Histogram("prof", "access_latency", histBounds())
@@ -380,6 +389,20 @@ func (p *Profiler) End(id int64, t int64) {
 	p.endHist.Observe(total)
 }
 
+// Migration records one committed page migration: copyCycles is the copy's
+// transit time (launch to last flit landing), stallCycles the total TLB
+// shootdown charged across the sharer cores. The cost lands in the
+// "migration" stage histogram and the migration aggregates — deliberately
+// outside the per-access components, whose exclusive sum must stay equal to
+// the end-to-end latency.
+func (p *Profiler) Migration(copyCycles, stallCycles int64) {
+	p.migrations++
+	p.migCycles += copyCycles + stallCycles
+	if copyCycles >= 0 {
+		p.stageHists[stageIndex["migration"]].Observe(copyCycles)
+	}
+}
+
 // FinishRun publishes the aggregates into the bound registry and verifies
 // the run drained: every started access ended and every controller service
 // record was claimed by a completion.
@@ -404,6 +427,10 @@ func (p *Profiler) FinishRun() {
 			}
 		}
 	}
+	if p.migrations != 0 {
+		reg.Counter("prof", "migrations").Add(p.migrations)
+		reg.Counter("prof", "migration_cycles").Add(p.migCycles)
+	}
 	for mc := range p.mcQueue {
 		if p.mcQueue[mc] != 0 || p.mcService[mc] != 0 {
 			reg.Counter("prof", "mc_cycles", fmt.Sprintf("mc=%d", mc), "sub=queue").Add(p.mcQueue[mc])
@@ -416,17 +443,19 @@ func (p *Profiler) FinishRun() {
 // value (histograms are cloned, so the snapshot survives the registry).
 func (p *Profiler) Profile() *Profile {
 	out := &Profile{
-		Cores:      len(p.perCore),
-		MCs:        len(p.mcQueue),
-		Accesses:   p.accesses,
-		EndToEnd:   p.endToEnd,
-		Comp:       make([]int64, NumComponents),
-		PerCore:    make([][]int64, len(p.perCore)),
-		MCQueue:    append([]int64(nil), p.mcQueue...),
-		MCService:  append([]int64(nil), p.mcService...),
-		End:        p.endHist.Clone(),
-		Stages:     make(map[string]*obs.Histogram, len(StageNames)),
-		Violations: append([]string(nil), p.violations...),
+		Cores:           len(p.perCore),
+		MCs:             len(p.mcQueue),
+		Accesses:        p.accesses,
+		EndToEnd:        p.endToEnd,
+		Migrations:      p.migrations,
+		MigrationCycles: p.migCycles,
+		Comp:            make([]int64, NumComponents),
+		PerCore:         make([][]int64, len(p.perCore)),
+		MCQueue:         append([]int64(nil), p.mcQueue...),
+		MCService:       append([]int64(nil), p.mcService...),
+		End:             p.endHist.Clone(),
+		Stages:          make(map[string]*obs.Histogram, len(StageNames)),
+		Violations:      append([]string(nil), p.violations...),
 	}
 	copy(out.Comp, p.comp[:])
 	for i := range p.perCore {
@@ -448,6 +477,12 @@ type Profile struct {
 	PerCore   [][]int64
 	MCQueue   []int64
 	MCService []int64
+
+	// Migration overhead, outside the per-access attribution (and therefore
+	// outside the Attributed()==EndToEnd identity): committed page
+	// migrations and their total copy+shootdown cycles.
+	Migrations      int64
+	MigrationCycles int64
 
 	End    *obs.Histogram            // end-to-end latency distribution
 	Stages map[string]*obs.Histogram // per-visit latency by coarse stage
@@ -512,6 +547,8 @@ func (p *Profile) Add(o *Profile) {
 	}
 	p.Accesses += o.Accesses
 	p.EndToEnd += o.EndToEnd
+	p.Migrations += o.Migrations
+	p.MigrationCycles += o.MigrationCycles
 	if p.End == nil {
 		p.End = obs.NewHistogram(histBounds())
 	}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMigrateAbsentFromHistoricalIDs: a job without migration renders
+// exactly the ID it always did, and the explicit "off" spelling normalizes
+// away — so every recorded sweep result keeps its identity.
+func TestMigrateAbsentFromHistoricalIDs(t *testing.T) {
+	s := JobSpec{App: "apsi", Cap: 100}
+	if id := s.ID(); strings.Contains(id, "mig") {
+		t.Errorf("migration-free ID %q mentions migration", id)
+	}
+	off := s
+	off.Migrate = "off"
+	if off.Normalized().Migrate != "" || off.ID() != s.ID() {
+		t.Errorf("Migrate=off did not normalize to the historical ID: %s", off.ID())
+	}
+}
+
+// TestMigrateFieldRoundTrip: migrating IDs carry the canonical spec string
+// and survive ParseJobID; malformed specs fail early with a clear error.
+func TestMigrateFieldRoundTrip(t *testing.T) {
+	s := JobSpec{Mode: ModeBaseline, App: "apsi", Cap: 100, Interleave: "page", Migrate: "on"}
+	n := s.Normalized()
+	if n.Migrate != "h16w1024c2f0t64" {
+		t.Errorf("Migrate=on normalized to %q", n.Migrate)
+	}
+	id := s.ID()
+	if !strings.Contains(id, "mig=h16w1024c2f0t64") {
+		t.Errorf("migrating ID %q lacks the canonical mig field", id)
+	}
+	got, err := ParseJobID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, n)
+	}
+	if _, err := ParseJobID("j1:app=apsi,mig=bogus"); err == nil {
+		t.Error("malformed migration spec accepted in an ID")
+	}
+	bad := JobSpec{App: "apsi", Interleave: "page", Migrate: "hXw1c1f1t1"}
+	if _, _, _, err := bad.Normalized().Build(); err == nil {
+		t.Error("Build accepted an unparseable migration spec")
+	}
+}
+
+// TestMigrateChangesIdentity: migration is part of a job's identity — two
+// specs equal in everything else must not collide in the result store.
+func TestMigrateChangesIdentity(t *testing.T) {
+	plain := JobSpec{Mode: ModeBaseline, App: "apsi", Cap: 100, Interleave: "page"}
+	migrating := plain
+	migrating.Migrate = "on"
+	if plain.ID() == migrating.ID() {
+		t.Errorf("migration did not change the job ID: %s", plain.ID())
+	}
+	other := migrating
+	other.Migrate = "h8w512c1f4t16"
+	if other.ID() == migrating.ID() {
+		t.Error("different migration specs rendered the same ID")
+	}
+}
+
+// TestMigrateRequiresPageInterleave: Build rejects migration on a
+// line-interleaved machine with an actionable error.
+func TestMigrateRequiresPageInterleave(t *testing.T) {
+	s := JobSpec{Mode: ModeBaseline, App: "apsi", Cap: 100, Migrate: "on"}
+	_, _, _, err := s.Normalized().Build()
+	if err == nil || !strings.Contains(err.Error(), "il=page") {
+		t.Errorf("Build error %v, want a mention of il=page", err)
+	}
+}
+
+// TestFirstTouchNearestPolicyJob: the ftnearest policy round-trips through
+// the ID and runs end to end.
+func TestFirstTouchNearestPolicyJob(t *testing.T) {
+	s := JobSpec{Mode: ModeBaseline, App: "gafort", Cap: 100, Interleave: "page", Policy: "ftnearest"}
+	id := s.ID()
+	if !strings.Contains(id, "pol=ftnearest") {
+		t.Errorf("ID %q lacks the policy field", id)
+	}
+	got, err := ParseJobID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "ftnearest" {
+		t.Errorf("round-tripped policy %q", got.Policy)
+	}
+	res, err := Run([]JobSpec{s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[0].Run == nil || res.Outcomes[0].Run.ExecTime <= 0 {
+		t.Error("ftnearest job produced no run result")
+	}
+}
+
+// TestMigrateReplayDeterminism: a migrating job replayed from its ID alone
+// reproduces the sweep outcome — including the migration counters — byte
+// for byte.
+func TestMigrateReplayDeterminism(t *testing.T) {
+	spec := JobSpec{Mode: ModeBaseline, App: "apsi", Cap: 200, Interleave: "page", Policy: "ftnearest", Migrate: "h2w256c1f4t16"}
+	res, err := Run([]JobSpec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outcomes[0]
+	if out.Run.Migrations == 0 {
+		t.Fatal("aggressive spec fired no migrations; determinism gate is vacuous")
+	}
+	replayed, err := Replay(out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Run, out.Run) {
+		t.Errorf("replay diverged:\n got %+v\nwant %+v", replayed.Run, out.Run)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"offchip/internal/approx"
 	"offchip/internal/core"
 	"offchip/internal/layout"
+	"offchip/internal/mem"
 	"offchip/internal/obs"
 	"offchip/internal/prof"
 	"offchip/internal/sim"
@@ -59,6 +60,15 @@ type JobSpec struct {
 	Policy     string // baseline page policy: "interleaved" | "firsttouch" | "osassisted"
 	Cap        int    // MaxAccessesPerThread (0: full traces)
 	Seed       uint64 // sweep seed; 0 keeps the historical jitter stream
+
+	// Migrate enables online hot-page migration: "" (or "off") runs the
+	// static policies unchanged, "on" the default mem.MigrationSpec, and a
+	// compact spec ("h16w1024c2f0t64") a custom one. Migration changes
+	// results, so like Sample it IS part of the job identity — the ID gains
+	// a mig= field exactly when Migrate is set, and IDs without one keep
+	// their historical form. Requires page interleaving; applied to the
+	// baseline and optimized runs, never the optimal scheme.
+	Migrate string
 
 	// Sample enables sampled simulation: "" (or "off") runs exact full
 	// simulations, "on" the default sim.SampleSpec, and a compact spec
@@ -122,6 +132,16 @@ func (s JobSpec) Normalized() JobSpec {
 			}
 		}
 	}
+	if s.Migrate != "" {
+		// Same canonicalization as Sample, against the migration spec form.
+		if sp, err := mem.ParseMigrationSpec(s.Migrate); err == nil {
+			if sp == nil {
+				s.Migrate = ""
+			} else {
+				s.Migrate = sp.String()
+			}
+		}
+	}
 	return s
 }
 
@@ -138,6 +158,9 @@ func (s JobSpec) ID() string {
 		// Appended only when set, so every pre-sampling job ID (and every
 		// recorded replay handle) is unchanged.
 		id += ",sample=" + n.Sample
+	}
+	if n.Migrate != "" {
+		id += ",mig=" + n.Migrate
 	}
 	return id
 }
@@ -201,6 +224,10 @@ func ParseJobID(id string) (JobSpec, error) {
 		case "sample":
 			if _, err = sim.ParseSampleSpec(v); err == nil {
 				s.Sample = v
+			}
+		case "mig":
+			if _, err = mem.ParseMigrationSpec(v); err == nil {
+				s.Migrate = v
 			}
 		default:
 			return s, fmt.Errorf("runner: unknown job ID field %q", k)
@@ -313,11 +340,23 @@ func (s JobSpec) Build() (layout.Machine, *layout.ClusterMapping, core.Options, 
 		}
 		opt.Sample = sp
 	}
+	if n.Migrate != "" {
+		sp, err := mem.ParseMigrationSpec(n.Migrate)
+		if err != nil {
+			return m, nil, opt, fmt.Errorf("runner: %w", err)
+		}
+		if sp != nil && m.Interleave != layout.PageInterleave {
+			return m, nil, opt, fmt.Errorf("runner: migration (mig=%s) requires il=page", n.Migrate)
+		}
+		opt.Migrate = sp
+	}
 	switch n.Policy {
 	case "interleaved":
 		opt.BaselinePolicy = sim.PolicyInterleaved
 	case "firsttouch":
 		opt.BaselinePolicy = sim.PolicyFirstTouch
+	case "ftnearest":
+		opt.BaselinePolicy = sim.PolicyFirstTouchNearest
 	case "osassisted":
 		opt.BaselinePolicy = sim.PolicyOSAssisted
 	default:

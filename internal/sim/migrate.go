@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"offchip/internal/mem"
+	"offchip/internal/mesh"
+	"offchip/internal/noc"
+	"offchip/internal/obs"
+)
+
+// migState drives online page migration inside one run: it feeds every timed
+// access into the mem.Migrator decision engine, rolls windows lazily from
+// the access stream (no engine events fire unless a migration actually
+// triggers, which keeps a migration-free run bit-identical to one with the
+// engine detached), and models each migration's cost — CopyFlits line-sized
+// messages injected through the NoC from the old controller's node to the
+// new one's, then a remap event at copy-finish time that atomically updates
+// the page table and charges the TLB-shootdown stall to every core that
+// touched the page in the triggering window.
+type migState struct {
+	m    *machine
+	eng  *mem.Migrator
+	spec mem.MigrationSpec
+
+	copyFlits int   // resolved: spec value, or PageBytes/LineBytes
+	windowEnd int64 // absolute cycle the open window closes at
+
+	// Registry counters, created on the first committed migration so a run
+	// that never migrates leaves the registry byte-identical to one without
+	// the engine.
+	migC, copyC, stallC *obs.Counter
+}
+
+// nearestMCOf maps a core to the controller nearest its mesh node — the
+// allocation target of FirstTouchNearestPolicy and the migration target of
+// a page that core dominates.
+func (m *machine) nearestMCOf(core int) int {
+	return m.cfg.Mapping.Placement.NearestMC(mesh.CoordOf(core, m.cfg.Machine.MeshX))
+}
+
+func newMigState(m *machine, spec mem.MigrationSpec) *migState {
+	flits := spec.CopyFlits
+	if flits == 0 {
+		flits = int((m.memCfg.PageBytes + m.memCfg.LineBytes - 1) / m.memCfg.LineBytes)
+	}
+	return &migState{
+		m:         m,
+		eng:       mem.NewMigrator(spec, m.cfg.Machine.Cores(), m.nearestMCOf),
+		spec:      spec,
+		copyFlits: flits,
+		windowEnd: spec.WindowCycles,
+	}
+}
+
+// touch records one timed access into the open window, first closing any
+// windows the clock has passed. Rolling here — on the access stream, not on
+// a periodic engine event — means a run whose threshold never fires
+// processes exactly the same event sequence as one with migration disabled.
+func (g *migState) touch(now int64, app int, vpage int64, core int) {
+	if g.spec.WindowCycles > 0 {
+		for now >= g.windowEnd {
+			g.roll(now)
+			g.windowEnd += g.spec.WindowCycles
+		}
+	}
+	g.eng.Touch(mem.PageID{App: app, VPage: vpage}, core)
+}
+
+// roll closes the open window and launches the page copies it triggers.
+func (g *migState) roll(now int64) {
+	migs := g.eng.Roll(func(p mem.PageID) int {
+		mc, _ := g.m.spaces[p.App].PageMC(p.VPage)
+		return mc
+	})
+	for _, mg := range migs {
+		g.launch(now, mg)
+	}
+}
+
+// launch injects the page-copy traffic as real off-chip-class messages —
+// they contend with demand traffic on the same links and appear in every
+// NoC total — and schedules the remap to commit when the last flit lands.
+func (g *migState) launch(now int64, mg mem.Migration) {
+	m := g.m
+	from := m.cfg.Mapping.Placement.NodeOf(mg.From)
+	to := m.cfg.Mapping.Placement.NodeOf(mg.To)
+	finish := now
+	for i := 0; i < g.copyFlits; i++ {
+		t, _ := m.net.Transit(now, from, to, noc.OffChip)
+		if t > finish {
+			finish = t
+		}
+	}
+	m.sim.Schedule(finish, &remapEvent{g: g, mg: mg, start: now})
+}
+
+// remapEvent commits one migration: an engine event at copy-finish time.
+// In-flight accesses translated before the commit keep their old physical
+// address — the old frame is still consistent data, it merely stops being
+// the page's home — so the remap is atomic and the address map is a
+// bijection at every instant.
+type remapEvent struct {
+	g     *migState
+	mg    mem.Migration
+	start int64
+}
+
+// Handle implements engine.Handler.
+func (e *remapEvent) Handle(now int64) {
+	g, mg := e.g, e.mg
+	m := g.m
+	sp := m.spaces[mg.Page.App]
+	if _, ok := sp.Remap(mg.Page.VPage, mg.To); ok {
+		var stall int64
+		for _, core := range mg.Sharers {
+			cs := m.cores[core]
+			if cs.nextFree < now {
+				cs.nextFree = now
+			}
+			cs.nextFree += g.spec.ShootdownCycles
+			stall += g.spec.ShootdownCycles
+		}
+		m.res.Migrations++
+		m.res.MigCopyMsgs += int64(g.copyFlits)
+		m.res.MigStallCycles += stall
+		if g.migC == nil {
+			g.migC = m.obs.Reg.Counter("mig", "migrations")
+			g.copyC = m.obs.Reg.Counter("mig", "copy_msgs")
+			g.stallC = m.obs.Reg.Counter("mig", "stall_cycles")
+		}
+		g.migC.Inc()
+		g.copyC.Add(int64(g.copyFlits))
+		g.stallC.Add(stall)
+		if pf := m.pf; pf != nil {
+			pf.Migration(now-e.start, stall)
+		}
+		if ck := m.ck; ck != nil {
+			if err := sp.VerifyBijection(); err != nil {
+				ck.Report("migration", "after remap of app %d vpage %d MC %d→%d: %v",
+					mg.Page.App, mg.Page.VPage, mg.From, mg.To, err)
+			}
+		}
+	}
+	g.eng.Completed(mg.Page)
+}

@@ -37,6 +37,10 @@ const (
 	// PolicyFirstTouch allocates from the MC of the first-touching node's
 	// cluster (Section 6.3).
 	PolicyFirstTouch
+	// PolicyFirstTouchNearest allocates from the controller *nearest* the
+	// first-touching core's mesh node — the FCFS placement of the dynamic
+	// rival family (the baseline the hot-page migration engine refines).
+	PolicyFirstTouchNearest
 )
 
 // Config assembles the simulated machine.
@@ -83,6 +87,15 @@ type Config struct {
 
 	// Policy selects the page allocation policy (page interleaving only).
 	Policy PolicyKind
+
+	// Migrate attaches the online hot-page migration engine (page
+	// interleaving only; nil disables it and the migration code path is
+	// provably inert — bit-identical results and registries). The engine
+	// watches per-page access distributions over Migrate.WindowCycles
+	// windows and re-homes pages whose dominant accessor crosses
+	// Migrate.HotThreshold, paying the modeled cost: page-copy flits
+	// through the NoC plus TLB-shootdown stalls on the sharers.
+	Migrate *mem.MigrationSpec
 
 	// OptimalOffchip turns on the Section 2 optimal scheme.
 	OptimalOffchip bool
@@ -164,6 +177,17 @@ func (c Config) Validate() error {
 	}
 	if c.MLPWindow <= 0 {
 		return fmt.Errorf("sim: MLP window %d", c.MLPWindow)
+	}
+	if c.Migrate != nil {
+		if err := c.Migrate.Validate(); err != nil {
+			return err
+		}
+		if c.Machine.Interleave != layout.PageInterleave {
+			return fmt.Errorf("sim: page migration requires page interleaving (the MC-select bits of a line-interleaved address sit inside the page offset)")
+		}
+		if c.OptimalOffchip {
+			return fmt.Errorf("sim: page migration is meaningless under the optimal scheme (every request already goes to the nearest controller)")
+		}
 	}
 	if err := c.DRAM.Validate(); err != nil {
 		return err
@@ -286,6 +310,11 @@ type Result struct {
 	AccessMap [][]int64
 
 	PageSpills int64
+
+	// Online page migration (zero unless Config.Migrate is set and fires).
+	Migrations     int64 // committed page remaps
+	MigCopyMsgs    int64 // page-copy messages injected through the NoC
+	MigStallCycles int64 // TLB-shootdown cycles charged to sharer cores
 }
 
 // OffChipShare returns the fraction of accesses served off-chip (Figure 3).
@@ -341,6 +370,7 @@ type machine struct {
 	res    *Result
 	ck     *check.Checker // nil when checking is off
 	pf     *prof.Profiler // nil when profiling is off
+	mig    *migState      // nil when migration is off
 
 	// Registry-backed statistics: the Figure 13 access map plus the access
 	// outcome counters; coreComp holds precomputed trace component names.
@@ -656,6 +686,9 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	if cfg.DebugMC0 != nil {
 		m.mcs[0].OnSubmit = cfg.DebugMC0
 	}
+	if cfg.Migrate != nil {
+		m.mig = newMigState(m, *cfg.Migrate)
+	}
 	for i := 0; i < cores; i++ {
 		l1 := cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways)
 		l2 := cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways)
@@ -905,6 +938,8 @@ func (m *machine) policy() mem.Policy {
 		return mem.NewOSAssistedPolicy(m.cfg.Machine.NumMCs)
 	case PolicyFirstTouch:
 		return &mem.FirstTouchPolicy{MCOfCore: m.cfg.Mapping.DesiredMCOf}
+	case PolicyFirstTouchNearest:
+		return &mem.FirstTouchNearestPolicy{NearestMC: m.nearestMCOf}
 	default:
 		return mem.NewInterleavedPolicy(m.cfg.Machine.NumMCs)
 	}
@@ -1002,6 +1037,12 @@ func (m *machine) process(e *accessEvent) {
 	}
 	if pf := m.pf; pf != nil {
 		e.pfID = pf.Start(e.core, m.sim.Now())
+	}
+	if g := m.mig; g != nil {
+		// Every timed reference counts toward the page's access distribution
+		// (the engine watches the TLB, not the caches), and crossing a window
+		// boundary rolls the window before this access translates.
+		g.touch(m.sim.Now(), e.app, e.acc.VAddr/m.memCfg.PageBytes, e.core)
 	}
 	paddr := m.spaces[e.app].Translate(e.acc.VAddr, e.core, int(e.acc.DesiredMC))
 
