@@ -56,7 +56,7 @@ func main() {
 	// -bench-sweepd spawns this binary as its own worker fleet; the children
 	// enter the protocol loop here and never parse flags.
 	sweepq.MaybeWorker()
-	exp := flag.String("exp", "all", "experiment id (fig3..fig25, table2) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig3..fig25, table2, figmig, figmix, figtune) or 'all'")
 	apps := flag.String("apps", "", "comma-separated application subset (default: all 13)")
 	quick := flag.Bool("quick", false, "sampled short traces (fast smoke run; numbers not meaningful)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of tables")
@@ -72,7 +72,7 @@ func main() {
 	benchSweepd := flag.String("bench-sweepd", "", "measure the sweep in-process vs on a worker-process fleet; write wall clocks to this JSON file")
 	cacheFlag := flag.String("trace-cache", "", `memoize trace generation across experiments: "mem" (in-process) or a directory for a persistent cache`)
 	sampleFlag := flag.String("sample", "", `sampled simulation for job-sharded experiments: off | on | w<windows>f<fraction>u<warmup>r<replicates>`)
-	migrateFlag := flag.String("migrate", "", `hot-page migration spec for figmig's dynamic/hybrid runs: on | h<thr>w<win>c<cool>f<flits>t<stall> (default "on")`)
+	migrateFlag := flag.String("migrate", "", `hot-page migration spec for figmig/figmix dynamic and hybrid runs: on | h<thr>w<win>c<cool>f<flits>t<stall>[g<pages>] (default: "on" for figmig; figmix retunes to per-page granularity)`)
 	profFlag := flag.Bool("prof", false, "attach the latency-attribution profiler to every job and print the sweep-wide differential attribution")
 	serveAddr := flag.String("serve", "", "serve the live sweep observability plane (/metrics, /progress, /profile) on this address")
 	sweepOut := flag.String("sweep-out", "", "write the sweep's merged registry as JSONL, plus a .manifest.json provenance record")

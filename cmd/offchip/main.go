@@ -81,7 +81,7 @@ func run() error {
 	mapping := flag.String("mapping", "m1", "L2-to-MC mapping: m1 | m2")
 	interleave := flag.String("interleave", "line", "physical address interleaving: line | page")
 	policy := flag.String("policy", "interleaved", "baseline page-placement policy: interleaved | firsttouch | ftnearest | osassisted")
-	migrate := flag.String("migrate", "off", `online hot-page migration for the baseline and optimized runs (requires -interleave page): off | on | h<thr>w<win>c<cool>f<flits>t<stall>`)
+	migrate := flag.String("migrate", "off", `online hot-page migration for the baseline and optimized runs (requires -interleave page): off | on | h<thr>w<win>c<cool>f<flits>t<stall>[g<pages>]`)
 	show := flag.Bool("show", false, "print the transformed reference forms")
 	simulate := flag.Bool("sim", true, "run the baseline/optimized/optimal simulation")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the optimized run (chrome://tracing, Perfetto)")

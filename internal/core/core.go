@@ -278,6 +278,41 @@ func Workloads(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, 
 	return base, optim, res, nil
 }
 
+// MixWorkloads builds the baseline and optimized composed workloads for a
+// phase-changing multiprogrammed mix: each entry's application goes through
+// the same pass-and-generate pipeline as Workloads (sharing the trace cache
+// when one is attached), and the per-app workloads are then composed
+// phase-major with the entries' core rotations (trace.ComposeMix). The
+// baseline composition interleaves identity-layout traces; the optimized
+// one composes the transformed traces, so OS-assisted placement still sees
+// each app's desired controllers.
+func MixWorkloads(mix workloads.MixSpec, m layout.Machine, cm *layout.ClusterMapping, opt Options) (base, optim *sim.Workload, err error) {
+	if err := mix.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var bases, optims []*sim.Workload
+	var rotates []int
+	for _, e := range mix.Entries {
+		app, _ := workloads.ByName(e.App)
+		b, o, _, err := Workloads(app, m, cm, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: mix entry %s: %w", e.App, err)
+		}
+		bases, optims = append(bases, b), append(optims, o)
+		rotates = append(rotates, e.Rotate)
+	}
+	name := mix.String()
+	base, err = trace.ComposeMix(name, m.Cores(), bases, rotates)
+	if err != nil {
+		return nil, nil, err
+	}
+	optim, err = trace.ComposeMix(name, m.Cores(), optims, rotates)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, optim, nil
+}
+
 // Compare runs the application three ways on the machine: baseline,
 // optimized, and the optimal scheme (on the baseline trace).
 func Compare(app *workloads.App, m layout.Machine, cm *layout.ClusterMapping, opt Options) (*Comparison, error) {

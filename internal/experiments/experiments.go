@@ -278,7 +278,7 @@ func AllIDs() []string {
 	return []string{
 		"fig3", "fig4", "table2", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-		"fig24", "fig25", "figmig",
+		"fig24", "fig25", "figmig", "figmix", "figtune",
 	}
 }
 
@@ -344,6 +344,12 @@ func Run(id string, cfg Config) (string, error) {
 		return r.Table(), nil
 	case "figmig":
 		r, err := FigMig(cfg)
+		return render(r, err)
+	case "figmix":
+		r, err := FigMix(cfg)
+		return render(r, err)
+	case "figtune":
+		r, err := FigTune(cfg)
 		return render(r, err)
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(AllIDs(), ", "))

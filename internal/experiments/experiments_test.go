@@ -27,8 +27,8 @@ func TestUnknownApp(t *testing.T) {
 
 func TestAllIDsRunnable(t *testing.T) {
 	ids := AllIDs()
-	if len(ids) != 17 {
-		t.Fatalf("%d experiment IDs, want 17 (15 paper figures + Table 2 + figmig)", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("%d experiment IDs, want 19 (15 paper figures + Table 2 + figmig/figmix/figtune)", len(ids))
 	}
 }
 

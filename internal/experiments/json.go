@@ -122,6 +122,12 @@ func figByID(id string, cfg Config) (*FigResult, error) {
 		return Fig23(cfg)
 	case "fig24":
 		return Fig24(cfg)
+	case "figmig":
+		return FigMig(cfg)
+	case "figmix":
+		return FigMix(cfg)
+	case "figtune":
+		return FigTune(cfg)
 	default:
 		return nil, errUnknown(id)
 	}

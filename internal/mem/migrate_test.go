@@ -11,6 +11,17 @@ import (
 // core c is nearest controller c mod 4.
 func nearestByMod(core int) int { return core % 4 }
 
+// distByMod is the matching hop-distance stand-in: controllers live on a
+// line and core c sits at position c mod 4, so dist(c, mc) = |c%4 - mc|
+// (zero exactly at the core's nearest controller).
+func distByMod(core, mc int) int {
+	d := core%4 - mc
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
 // touchN records n touches of the page by the core.
 func touchN(g *Migrator, pg PageID, core, n int) {
 	for i := 0; i < n; i++ {
@@ -35,23 +46,50 @@ func TestMigratorEdgeCases(t *testing.T) {
 		{
 			name:  "threshold exactly met",
 			spec:  MigrationSpec{HotThreshold: 16, WindowCycles: 100, ShootdownCycles: 1},
-			touch: func(g *Migrator) { touchN(g, pg, 5, 16) },
-			home:  0, want: 1, to: 1, dom: 5,
+			touch: func(g *Migrator) { touchN(g, pg, 7, 16) }, // 3 hops gained per touch
+			home:  0, want: 1, to: 3, dom: 7,
 		},
 		{
 			name:  "one touch short of threshold",
 			spec:  MigrationSpec{HotThreshold: 16, WindowCycles: 100, ShootdownCycles: 1},
-			touch: func(g *Migrator) { touchN(g, pg, 5, 15) },
+			touch: func(g *Migrator) { touchN(g, pg, 7, 15) },
 			home:  0, want: 0,
+		},
+		{
+			name: "one hop per touch is below the density gate",
+			spec: MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) {
+				touchN(g, pg, 5, 16) // nearest MC 1, one hop from home 0
+			},
+			home: 0, want: 0,
 		},
 		{
 			name: "dominant-accessor tie keeps the lowest core",
 			spec: MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
 			touch: func(g *Migrator) {
-				touchN(g, pg, 6, 4) // nearest MC 2; ties resolve to core 3 below
+				touchN(g, pg, 7, 4) // nearest MC 3; ties resolve to core 3 below
 				touchN(g, pg, 3, 4) // nearest MC 3, the lowest tied core ID
 			},
 			home: 0, want: 1, to: 3, dom: 3,
+		},
+		{
+			name: "zero net hop benefit: anchored, no migration",
+			spec: MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) {
+				touchN(g, pg, 1, 5) // nearest MC 1: dominant, gains 1 hop per touch
+				touchN(g, pg, 7, 5) // nearest MC 3: loses 1 hop per touch — a wash
+			},
+			home: 2, want: 0,
+		},
+		{
+			name: "minority dragged farther than the dominant gains: no migration",
+			spec: MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1},
+			touch: func(g *Migrator) {
+				touchN(g, pg, 5, 5) // nearest MC 1: dominant, gains 1 hop per touch
+				touchN(g, pg, 0, 3) // nearest MC 0, the current home: loses 1 hop...
+				touchN(g, pg, 4, 3) // ...per touch each, 6 hops lost vs 5 gained
+			},
+			home: 0, want: 0,
 		},
 		{
 			name:  "already home: no migration",
@@ -68,7 +106,14 @@ func TestMigratorEdgeCases(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			g := NewMigrator(c.spec, 8, nearestByMod)
+			g := NewMigrator(c.spec, 8, nearestByMod, distByMod)
+			// A decision needs two consecutive qualifying windows: the first
+			// Roll records the candidate, the second confirms (or keeps
+			// refusing, for the guard cases).
+			c.touch(g)
+			if migs := g.Roll(homeAt(c.home)); len(migs) != 0 {
+				t.Fatalf("first window migrated unconfirmed: %+v", migs)
+			}
 			c.touch(g)
 			migs := g.Roll(homeAt(c.home))
 			if len(migs) != c.want {
@@ -86,11 +131,18 @@ func TestMigratorEdgeCases(t *testing.T) {
 }
 
 func TestMigratorSharersAscending(t *testing.T) {
-	g := NewMigrator(MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1}, 8, nearestByMod)
+	g := NewMigrator(MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1}, 8, nearestByMod, distByMod)
 	pg := PageID{VPage: 1}
-	touchN(g, pg, 7, 1)
-	touchN(g, pg, 5, 4)
-	touchN(g, pg, 0, 2)
+	hot := func() {
+		touchN(g, pg, 7, 8) // dominant: 3 hops gained per touch toward MC 3
+		touchN(g, pg, 5, 1)
+		touchN(g, pg, 0, 1)
+	}
+	hot()
+	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+		t.Fatalf("unconfirmed window migrated: %+v", migs)
+	}
+	hot()
 	migs := g.Roll(homeAt(0))
 	if len(migs) != 1 {
 		t.Fatalf("got %d migrations, want 1", len(migs))
@@ -109,63 +161,83 @@ func TestMigratorSharersAscending(t *testing.T) {
 
 func TestMigratorPendingFreezesPage(t *testing.T) {
 	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 0, ShootdownCycles: 1}
-	g := NewMigrator(spec, 8, nearestByMod)
+	g := NewMigrator(spec, 8, nearestByMod, distByMod)
 	pg := PageID{VPage: 3}
-	touchN(g, pg, 5, 8)
+	touchN(g, pg, 7, 8)
+	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+		t.Fatalf("window 0: unconfirmed window migrated: %+v", migs)
+	}
+	touchN(g, pg, 7, 8)
 	if migs := g.Roll(homeAt(0)); len(migs) != 1 {
-		t.Fatalf("window 0: got %d migrations, want 1", len(migs))
+		t.Fatalf("window 1: got %d migrations, want 1", len(migs))
 	}
 	// The remap is still in flight: the page stays hot but must not
 	// re-trigger until Completed.
-	touchN(g, pg, 6, 8)
+	touchN(g, pg, 4, 24)
 	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
 		t.Fatalf("pending page re-triggered: %+v", migs)
 	}
 	g.Completed(pg)
-	touchN(g, pg, 6, 8)
-	if migs := g.Roll(homeAt(1)); len(migs) != 1 || migs[0].To != 2 {
-		t.Fatalf("after Completed: got %+v, want one migration to MC 2", migs)
+	// The reversed phase must shout louder than the decaying history of the
+	// old accessor before the hop-benefit gate re-opens.
+	touchN(g, pg, 4, 24)
+	if migs := g.Roll(homeAt(3)); len(migs) != 0 {
+		t.Fatalf("after Completed: unconfirmed window migrated: %+v", migs)
+	}
+	touchN(g, pg, 4, 24)
+	if migs := g.Roll(homeAt(3)); len(migs) != 1 || migs[0].To != 0 {
+		t.Fatalf("after Completed: got %+v, want one migration to MC 0", migs)
 	}
 }
 
 func TestMigratorCooldownExpiresOnWindowBoundary(t *testing.T) {
 	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 2, ShootdownCycles: 1}
-	g := NewMigrator(spec, 8, nearestByMod)
+	g := NewMigrator(spec, 8, nearestByMod, distByMod)
 	pg := PageID{VPage: 9}
-	hot := func(core int) { touchN(g, pg, core, 8) }
 
-	hot(5)
-	if migs := g.Roll(homeAt(0)); len(migs) != 1 { // closes window 0, cooldown until window 3
-		t.Fatalf("window 0: %d migrations, want 1", len(migs))
+	touchN(g, pg, 7, 8)
+	if migs := g.Roll(homeAt(0)); len(migs) != 0 { // window 0 records the candidate
+		t.Fatalf("window 0: unconfirmed window migrated: %+v", migs)
+	}
+	touchN(g, pg, 7, 8)
+	if migs := g.Roll(homeAt(0)); len(migs) != 1 { // closes window 1, cooldown until window 4
+		t.Fatalf("window 1: %d migrations, want 1", len(migs))
 	}
 	g.Completed(pg)
-	for w := 1; w <= 2; w++ { // windows 1 and 2 are cooling
-		hot(6)
-		if migs := g.Roll(homeAt(1)); len(migs) != 0 {
+	// The reversed phase (core 4, nearest MC 0, three hops from the new home)
+	// keeps shouting through the cooldown; the touches only build history.
+	for w := 2; w <= 3; w++ { // windows 2 and 3 are cooling
+		touchN(g, pg, 4, 16)
+		if migs := g.Roll(homeAt(3)); len(migs) != 0 {
 			t.Fatalf("window %d: migrated during cooldown: %+v", w, migs)
 		}
 	}
-	hot(6) // window 3: cooldown expired exactly at this boundary
-	if migs := g.Roll(homeAt(1)); len(migs) != 1 || migs[0].To != 2 {
-		t.Fatalf("window 3: got %+v, want one migration to MC 2", migs)
+	touchN(g, pg, 4, 16) // window 4: cooldown expired exactly at this boundary, candidate recorded
+	if migs := g.Roll(homeAt(3)); len(migs) != 0 {
+		t.Fatalf("window 4: unconfirmed window migrated: %+v", migs)
+	}
+	touchN(g, pg, 4, 16) // window 5 confirms
+	if migs := g.Roll(homeAt(3)); len(migs) != 1 || migs[0].To != 0 {
+		t.Fatalf("window 5: got %+v, want one migration to MC 0", migs)
 	}
 }
 
 // TestMigratorPingPongStabilizes drives the worst case — two accessors on
-// opposite controllers alternating dominance every window — and checks the
-// cooldown bounds the migration rate to at most one per cooldown period,
-// rather than one per window.
+// opposite controllers alternating dominance every two windows (one window
+// of candidacy, one of confirmation) — and checks the cooldown bounds the
+// migration rate to at most one per cooldown period, rather than one per
+// confirmation period.
 func TestMigratorPingPongStabilizes(t *testing.T) {
 	const windows = 24
 	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, CooldownWindows: 3, ShootdownCycles: 1}
-	g := NewMigrator(spec, 8, nearestByMod)
+	g := NewMigrator(spec, 8, nearestByMod, distByMod)
 	pg := PageID{VPage: 2}
 	home := 0
 	total := 0
 	for w := 0; w < windows; w++ {
-		core := 1 // nearest MC 1
-		if w%2 == 1 {
-			core = 2 // nearest MC 2
+		core := 7 // nearest MC 3, three hops from home 0
+		if (w/2)%2 == 1 {
+			core = 4 // nearest MC 0, three hops from MC 3
 		}
 		touchN(g, pg, core, 8)
 		migs := g.Roll(func(PageID) int { return home })
@@ -175,8 +247,8 @@ func TestMigratorPingPongStabilizes(t *testing.T) {
 			total++
 		}
 	}
-	// Without damping this would migrate every window once the page leaves
-	// MC 0. With CooldownWindows=3, at most every 4th window can migrate.
+	// Without damping this would migrate every other window once the page
+	// leaves MC 0. With CooldownWindows=3, at most every 4th window can.
 	if max := windows/(spec.CooldownWindows+1) + 1; total > max {
 		t.Errorf("ping-pong: %d migrations in %d windows, want <= %d", total, windows, max)
 	}
@@ -185,11 +257,31 @@ func TestMigratorPingPongStabilizes(t *testing.T) {
 	}
 }
 
+// TestMigratorAlternatingWindowsNeverConfirm pins the confirmation rule:
+// a pattern that flips its pull every single window — each window valid on
+// its own — never produces a migration, because no decision survives two
+// consecutive windows.
+func TestMigratorAlternatingWindowsNeverConfirm(t *testing.T) {
+	spec := MigrationSpec{HotThreshold: 4, WindowCycles: 100, ShootdownCycles: 1}
+	g := NewMigrator(spec, 8, nearestByMod, distByMod)
+	pg := PageID{VPage: 4}
+	for w := 0; w < 16; w++ {
+		core := 6 // nearest MC 2, two hops gained from home 0
+		if w%2 == 1 {
+			core = 7 // nearest MC 3, three hops gained from home 0
+		}
+		touchN(g, pg, core, 8)
+		if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+			t.Fatalf("window %d: rotating pattern migrated: %+v", w, migs)
+		}
+	}
+}
+
 func TestMigratorZeroWindowNeverRolls(t *testing.T) {
 	// WindowCycles=0 means the driver never calls Roll; the engine contract
 	// is just that Touch stays cheap and side-effect-free. Pin that a Roll,
 	// if forced, still migrates nothing when nothing crossed the threshold.
-	g := NewMigrator(MigrationSpec{HotThreshold: 16, WindowCycles: 0, ShootdownCycles: 1}, 8, nearestByMod)
+	g := NewMigrator(MigrationSpec{HotThreshold: 16, WindowCycles: 0, ShootdownCycles: 1}, 8, nearestByMod, distByMod)
 	touchN(g, PageID{VPage: 1}, 5, 15)
 	if migs := g.Roll(homeAt(0)); len(migs) != 0 {
 		t.Fatalf("zero-window roll migrated: %+v", migs)
@@ -204,7 +296,7 @@ func TestParseMigrationSpec(t *testing.T) {
 	}{
 		{in: "", want: nil},
 		{in: "off", want: nil},
-		{in: "on", want: &MigrationSpec{HotThreshold: 16, WindowCycles: 1024, CooldownWindows: 2, CopyFlits: 0, ShootdownCycles: 64}},
+		{in: "on", want: &MigrationSpec{HotThreshold: 16, WindowCycles: 4096, CooldownWindows: 2, CopyFlits: 0, ShootdownCycles: 64, ClusterPages: 4}},
 		{in: "h8w512c1f16t32", want: &MigrationSpec{HotThreshold: 8, WindowCycles: 512, CooldownWindows: 1, CopyFlits: 16, ShootdownCycles: 32}},
 		{in: "h1w0c0f0t0", want: &MigrationSpec{HotThreshold: 1}},
 		{in: "x8w512c1f16t32", wantErr: true}, // bad prefix
@@ -213,6 +305,15 @@ func TestParseMigrationSpec(t *testing.T) {
 		{in: "h0w512c1f16t32", wantErr: true}, // threshold < 1
 		{in: "h8w-1c1f16t32", wantErr: true},  // negative window
 		{in: "h8w512c-1f0t0", wantErr: true},  // negative cooldown
+		{in: "h8w512c1f16t32g4", want: &MigrationSpec{HotThreshold: 8, WindowCycles: 512, CooldownWindows: 1, CopyFlits: 16, ShootdownCycles: 32, ClusterPages: 4}},
+		{in: "h8w512c1f16t32g1", wantErr: true},  // g1 renders as the 5-field form
+		{in: "h8w512c1f16t32g0", wantErr: true},  // g0 likewise
+		{in: "h+8w512c1f16t32", wantErr: true},   // non-canonical numeral
+		{in: "h08w512c1f16t32", wantErr: true},   // non-canonical numeral
+		{in: "h8w0512c1f16t32", wantErr: true},   // non-canonical numeral
+		{in: "h8w512c1f16t32g04", wantErr: true}, // non-canonical numeral
+		{in: " h8w512c1f16t32", wantErr: true},   // leading junk
+		{in: "h8w512c1f16t32 ", wantErr: true},   // trailing junk
 	}
 	for _, c := range cases {
 		got, err := ParseMigrationSpec(c.in)
@@ -247,6 +348,10 @@ func FuzzParseMigrationSpec(f *testing.F) {
 	f.Add("h-1w1c1f1t1")
 	f.Add("hw512c1f16t32")
 	f.Add("h99999999999999999999w1c1f1t1")
+	f.Add("h16w4096c2f0t64g4")
+	f.Add("h16w1024c2f0t64g1")
+	f.Add("h+16w1024c2f0t64")
+	f.Add("h016w1024c2f0t64")
 	f.Fuzz(func(t *testing.T, s string) {
 		sp, err := ParseMigrationSpec(s)
 		if err != nil {
@@ -398,4 +503,125 @@ func TestFirstTouchNearestPolicy(t *testing.T) {
 		}
 	}
 	_ = layout.PageInterleave // keep the import tied to pageCfg's intent
+}
+
+// TestMigratorClusterGranularity pins the cluster decision unit (spec field
+// g<pages>): touches aggregate at the aligned cluster key, a triggering
+// cluster migrates as one unit with Pages set to the extent, distinct
+// clusters never pool their heat, and a phase-style hot-set handoff moves
+// the newly hot cluster without disturbing the cooled one.
+func TestMigratorClusterGranularity(t *testing.T) {
+	spec4 := MigrationSpec{HotThreshold: 16, WindowCycles: 100, ShootdownCycles: 1, ClusterPages: 4}
+
+	// touchSpread lands n touches per member page of the aligned 4-page
+	// cluster at base — individually below threshold, collectively above.
+	touchSpread := func(g *Migrator, base int64, core, n int) {
+		for v := base; v < base+4; v++ {
+			touchN(g, PageID{App: 0, VPage: v}, core, n)
+		}
+	}
+
+	t.Run("touches aggregate at the cluster key", func(t *testing.T) {
+		g := NewMigrator(spec4, 8, nearestByMod, distByMod)
+		for w := 0; w < 2; w++ {
+			touchSpread(g, 4, 7, 4) // 4 per page = 16 on the cluster, threshold met
+			migs := g.Roll(homeAt(0))
+			if w == 0 {
+				if len(migs) != 0 {
+					t.Fatalf("unconfirmed first window migrated: %+v", migs)
+				}
+				continue
+			}
+			if len(migs) != 1 {
+				t.Fatalf("got %d migrations, want 1: %+v", len(migs), migs)
+			}
+			m := migs[0]
+			if m.Page.VPage != 4 || m.Pages != 4 || m.To != 3 || m.Dominant != 7 {
+				t.Errorf("migration %+v, want cluster base 4 extent 4 -> MC3 dominated by core 7", m)
+			}
+		}
+	})
+
+	t.Run("dominance ties at the cluster resolve to the lowest core", func(t *testing.T) {
+		g := NewMigrator(spec4, 8, nearestByMod, distByMod)
+		for w := 0; w < 2; w++ {
+			touchSpread(g, 4, 7, 4) // nearest MC 3
+			touchSpread(g, 4, 3, 4) // nearest MC 3, the lowest tied core
+			migs := g.Roll(homeAt(0))
+			if w == 1 {
+				if len(migs) != 1 || migs[0].Dominant != 3 {
+					t.Fatalf("got %+v, want one migration dominated by core 3", migs)
+				}
+			}
+		}
+	})
+
+	t.Run("distinct clusters never pool their heat", func(t *testing.T) {
+		g := NewMigrator(spec4, 8, nearestByMod, distByMod)
+		for w := 0; w < 2; w++ {
+			// 8 + 8 touches, but vpage 3 belongs to cluster 0 and vpage 4 to
+			// cluster 4: neither decision unit reaches the threshold of 16.
+			touchN(g, PageID{App: 0, VPage: 3}, 7, 8)
+			touchN(g, PageID{App: 0, VPage: 4}, 7, 8)
+			if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+				t.Fatalf("window %d: sub-threshold clusters migrated: %+v", w, migs)
+			}
+		}
+	})
+
+	t.Run("single-page engine does not aggregate", func(t *testing.T) {
+		spec1 := spec4
+		spec1.ClusterPages = 1
+		g := NewMigrator(spec1, 8, nearestByMod, distByMod)
+		for w := 0; w < 2; w++ {
+			touchSpread(g, 4, 7, 4) // 4 per page: every page below threshold
+			if migs := g.Roll(homeAt(0)); len(migs) != 0 {
+				t.Fatalf("window %d: g=1 pooled cluster heat: %+v", w, migs)
+			}
+		}
+		// The same heat concentrated on one page fires, with extent 1.
+		for w := 0; w < 2; w++ {
+			touchN(g, PageID{App: 0, VPage: 7}, 7, 16)
+			migs := g.Roll(homeAt(0))
+			if w == 1 && (len(migs) != 1 || migs[0].Page.VPage != 7 || migs[0].Pages != 1) {
+				t.Fatalf("got %+v, want one single-page migration of vpage 7", migs)
+			}
+		}
+	})
+
+	t.Run("phase boundary hands off between clusters", func(t *testing.T) {
+		spec := spec4
+		spec.HotThreshold = 8
+		g := NewMigrator(spec, 8, nearestByMod, distByMod)
+		homes := map[int64]int{0: 0, 4: 0} // cluster base -> current MC
+		curMC := func(p PageID) int { return homes[p.VPage] }
+
+		// Phase 1: core 7 hammers cluster 0 for two windows; it moves to MC3.
+		for w := 0; w < 2; w++ {
+			touchSpread(g, 0, 7, 2)
+			migs := g.Roll(curMC)
+			if w == 1 {
+				if len(migs) != 1 || migs[0].Page.VPage != 0 || migs[0].To != 3 {
+					t.Fatalf("phase 1: got %+v, want cluster 0 -> MC3", migs)
+				}
+				homes[0] = 3
+				g.Completed(migs[0].Page)
+			}
+		}
+
+		// Phase 2: the hot set shifts to cluster 4. The cooled cluster 0 is
+		// untouched and must stay put; the new hot cluster migrates.
+		for w := 0; w < 2; w++ {
+			touchSpread(g, 4, 7, 2)
+			migs := g.Roll(curMC)
+			if w == 0 && len(migs) != 0 {
+				t.Fatalf("phase 2 first window migrated unconfirmed: %+v", migs)
+			}
+			if w == 1 {
+				if len(migs) != 1 || migs[0].Page.VPage != 4 || migs[0].To != 3 {
+					t.Fatalf("phase 2: got %+v, want cluster 4 -> MC3 and nothing else", migs)
+				}
+			}
+		}
+	})
 }

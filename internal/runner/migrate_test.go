@@ -26,11 +26,11 @@ func TestMigrateAbsentFromHistoricalIDs(t *testing.T) {
 func TestMigrateFieldRoundTrip(t *testing.T) {
 	s := JobSpec{Mode: ModeBaseline, App: "apsi", Cap: 100, Interleave: "page", Migrate: "on"}
 	n := s.Normalized()
-	if n.Migrate != "h16w1024c2f0t64" {
+	if n.Migrate != "h16w4096c2f0t64g4" {
 		t.Errorf("Migrate=on normalized to %q", n.Migrate)
 	}
 	id := s.ID()
-	if !strings.Contains(id, "mig=h16w1024c2f0t64") {
+	if !strings.Contains(id, "mig=h16w4096c2f0t64g4") {
 		t.Errorf("migrating ID %q lacks the canonical mig field", id)
 	}
 	got, err := ParseJobID(id)

@@ -46,7 +46,7 @@ const (
 // ID, hashing, and replay always see one canonical form.
 type JobSpec struct {
 	Mode       Mode
-	App        string // workload name (required)
+	App        string // workload name (required unless Mix is set)
 	L2         string // "private" | "shared"
 	Interleave string // "line" | "page"
 	Mapping    string // "m1" | "m2"
@@ -60,6 +60,16 @@ type JobSpec struct {
 	Policy     string // baseline page policy: "interleaved" | "firsttouch" | "osassisted"
 	Cap        int    // MaxAccessesPerThread (0: full traces)
 	Seed       uint64 // sweep seed; 0 keeps the historical jitter stream
+
+	// Mix, when set, replaces App with a phase-changing multiprogrammed mix
+	// (workloads.MixSpec compact form, e.g. "mix2(apsi@16+gafort@0)"): the
+	// job simulates the composed workload instead of a single application.
+	// The form contains no comma or equals sign, so it embeds verbatim as
+	// the ID's mix= field — appended only when set, like sample=/mig=, so
+	// single-app IDs keep their historical bytes. Mix jobs run ModeBaseline
+	// or ModeOptimized (the per-app compiler analysis of compare/analyze has
+	// no composed counterpart), and exactly one of App and Mix must be set.
+	Mix string
 
 	// Migrate enables online hot-page migration: "" (or "off") runs the
 	// static policies unchanged, "on" the default mem.MigrationSpec, and a
@@ -142,6 +152,15 @@ func (s JobSpec) Normalized() JobSpec {
 			}
 		}
 	}
+	if s.Mix != "" {
+		// Mix specs are strictly canonical already (ParseMixSpec rejects any
+		// other spelling), so this only normalizes a parseable spec to itself
+		// and clears "" round-trips; an unparseable one is left verbatim for
+		// Build/execute to report.
+		if sp, err := workloads.ParseMixSpec(s.Mix); err == nil && sp != nil {
+			s.Mix = sp.String()
+		}
+	}
 	return s
 }
 
@@ -161,6 +180,9 @@ func (s JobSpec) ID() string {
 	}
 	if n.Migrate != "" {
 		id += ",mig=" + n.Migrate
+	}
+	if n.Mix != "" {
+		id += ",mix=" + n.Mix
 	}
 	return id
 }
@@ -229,6 +251,10 @@ func ParseJobID(id string) (JobSpec, error) {
 			if _, err = mem.ParseMigrationSpec(v); err == nil {
 				s.Migrate = v
 			}
+		case "mix":
+			if _, err = workloads.ParseMixSpec(v); err == nil {
+				s.Mix = v
+			}
 		default:
 			return s, fmt.Errorf("runner: unknown job ID field %q", k)
 		}
@@ -236,8 +262,11 @@ func ParseJobID(id string) (JobSpec, error) {
 			return s, fmt.Errorf("runner: job ID field %s=%q: %w", k, v, err)
 		}
 	}
-	if s.App == "" {
-		return s, fmt.Errorf("runner: job ID %q names no app", id)
+	if s.App == "" && s.Mix == "" {
+		return s, fmt.Errorf("runner: job ID %q names no app or mix", id)
+	}
+	if s.App != "" && s.Mix != "" {
+		return s, fmt.Errorf("runner: job ID %q names both an app and a mix", id)
 	}
 	return s.Normalized(), nil
 }
@@ -450,14 +479,35 @@ func (s JobSpec) execute() (out *JobOutcome) {
 			out.Err = fmt.Errorf("runner: job %s panicked: %v", out.ID, r)
 		}
 	}()
-	app, ok := workloads.ByName(n.App)
-	if !ok {
-		out.Err = fmt.Errorf("runner: unknown application %q", n.App)
-		return out
+	var mix *workloads.MixSpec
+	if n.Mix != "" {
+		if n.App != "" {
+			out.Err = fmt.Errorf("runner: job %s names both an app and a mix", out.ID)
+			return out
+		}
+		sp, err := workloads.ParseMixSpec(n.Mix)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		mix = sp
+	}
+	var app *workloads.App
+	if mix == nil {
+		a, ok := workloads.ByName(n.App)
+		if !ok {
+			out.Err = fmt.Errorf("runner: unknown application %q", n.App)
+			return out
+		}
+		app = a
 	}
 	m, cm, opt, err := n.Build()
 	if err != nil {
 		out.Err = err
+		return out
+	}
+	if mix != nil && n.Mode != ModeBaseline && n.Mode != ModeOptimized {
+		out.Err = fmt.Errorf("runner: mix jobs run mode=baseline or mode=optimized, not %s (the per-app compiler analysis of compare/analyze has no composed counterpart)", n.Mode)
 		return out
 	}
 	switch n.Mode {
@@ -478,7 +528,13 @@ func (s JobSpec) execute() (out *JobOutcome) {
 		out.Profiles = c.Profiles
 		out.Sampled = c.Sampled
 	case ModeBaseline, ModeOptimized:
-		baseW, optW, _, err := core.Workloads(app, m, cm, opt)
+		var baseW, optW *sim.Workload
+		var err error
+		if mix != nil {
+			baseW, optW, err = core.MixWorkloads(*mix, m, cm, opt)
+		} else {
+			baseW, optW, _, err = core.Workloads(app, m, cm, opt)
+		}
 		if err != nil {
 			out.Err = err
 			return out

@@ -37,6 +37,12 @@ func (m *machine) nearestMCOf(core int) int {
 	return m.cfg.Mapping.Placement.NearestMC(mesh.CoordOf(core, m.cfg.Machine.MeshX))
 }
 
+// coreMCDist is the mesh hop distance from a core's node to a controller's
+// node — the migration engine's profitability model.
+func (m *machine) coreMCDist(core, mc int) int {
+	return m.cfg.Mapping.Placement.Dist(mesh.CoordOf(core, m.cfg.Machine.MeshX), mc)
+}
+
 func newMigState(m *machine, spec mem.MigrationSpec) *migState {
 	flits := spec.CopyFlits
 	if flits == 0 {
@@ -44,7 +50,7 @@ func newMigState(m *machine, spec mem.MigrationSpec) *migState {
 	}
 	return &migState{
 		m:         m,
-		eng:       mem.NewMigrator(spec, m.cfg.Machine.Cores(), m.nearestMCOf),
+		eng:       mem.NewMigrator(spec, m.cfg.Machine.Cores(), m.nearestMCOf, m.coreMCDist),
 		spec:      spec,
 		copyFlits: flits,
 		windowEnd: spec.WindowCycles,
@@ -79,28 +85,50 @@ func (g *migState) roll(now int64) {
 // launch injects the page-copy traffic as real off-chip-class messages —
 // they contend with demand traffic on the same links and appear in every
 // NoC total — and schedules the remap to commit when the last flit lands.
+// At cluster granularity (Migration.Pages > 1) every allocated member page
+// not already homed on the target controller is copied from its own current
+// home, and one remap event commits the whole cluster.
 func (g *migState) launch(now int64, mg mem.Migration) {
 	m := g.m
-	from := m.cfg.Mapping.Placement.NodeOf(mg.From)
+	sp := m.spaces[mg.Page.App]
 	to := m.cfg.Mapping.Placement.NodeOf(mg.To)
 	finish := now
-	for i := 0; i < g.copyFlits; i++ {
-		t, _ := m.net.Transit(now, from, to, noc.OffChip)
-		if t > finish {
-			finish = t
+	var pages []int64
+	for v := mg.Page.VPage; v < mg.Page.VPage+int64(mg.Pages); v++ {
+		mc, ok := sp.PageMC(v)
+		if !ok || mc == mg.To {
+			continue // untouched, or already home: nothing to move
+		}
+		pages = append(pages, v)
+		from := m.cfg.Mapping.Placement.NodeOf(mc)
+		for i := 0; i < g.copyFlits; i++ {
+			t, _ := m.net.Transit(now, from, to, noc.OffChip)
+			if t > finish {
+				finish = t
+			}
 		}
 	}
-	m.sim.Schedule(finish, &remapEvent{g: g, mg: mg, start: now})
+	if len(pages) == 0 {
+		// Every member already lives on the target (the base page moved
+		// between decision and launch): nothing in flight, unfreeze now.
+		g.eng.Completed(mg.Page)
+		return
+	}
+	m.sim.Schedule(finish, &remapEvent{g: g, mg: mg, pages: pages, start: now})
 }
 
 // remapEvent commits one migration: an engine event at copy-finish time.
 // In-flight accesses translated before the commit keep their old physical
 // address — the old frame is still consistent data, it merely stops being
 // the page's home — so the remap is atomic and the address map is a
-// bijection at every instant.
+// bijection at every instant. A cluster commits as one unit: its member
+// remaps apply back to back at the same instant, the sharers pay ONE
+// shootdown for the whole cluster, and the bijection probe runs once after
+// the last member.
 type remapEvent struct {
 	g     *migState
 	mg    mem.Migration
+	pages []int64 // member vpages to re-home (off-target at launch)
 	start int64
 }
 
@@ -109,7 +137,13 @@ func (e *remapEvent) Handle(now int64) {
 	g, mg := e.g, e.mg
 	m := g.m
 	sp := m.spaces[mg.Page.App]
-	if _, ok := sp.Remap(mg.Page.VPage, mg.To); ok {
+	remapped := 0
+	for _, v := range e.pages {
+		if _, ok := sp.Remap(v, mg.To); ok {
+			remapped++
+		}
+	}
+	if remapped > 0 {
 		var stall int64
 		for _, core := range mg.Sharers {
 			cs := m.cores[core]
@@ -120,7 +154,7 @@ func (e *remapEvent) Handle(now int64) {
 			stall += g.spec.ShootdownCycles
 		}
 		m.res.Migrations++
-		m.res.MigCopyMsgs += int64(g.copyFlits)
+		m.res.MigCopyMsgs += int64(g.copyFlits * remapped)
 		m.res.MigStallCycles += stall
 		if g.migC == nil {
 			g.migC = m.obs.Reg.Counter("mig", "migrations")
@@ -128,15 +162,15 @@ func (e *remapEvent) Handle(now int64) {
 			g.stallC = m.obs.Reg.Counter("mig", "stall_cycles")
 		}
 		g.migC.Inc()
-		g.copyC.Add(int64(g.copyFlits))
+		g.copyC.Add(int64(g.copyFlits * remapped))
 		g.stallC.Add(stall)
 		if pf := m.pf; pf != nil {
 			pf.Migration(now-e.start, stall)
 		}
 		if ck := m.ck; ck != nil {
 			if err := sp.VerifyBijection(); err != nil {
-				ck.Report("migration", "after remap of app %d vpage %d MC %d→%d: %v",
-					mg.Page.App, mg.Page.VPage, mg.From, mg.To, err)
+				ck.Report("migration", "after remap of app %d vpage %d (+%d pages) MC %d→%d: %v",
+					mg.Page.App, mg.Page.VPage, remapped-1, mg.From, mg.To, err)
 			}
 		}
 	}

@@ -295,3 +295,85 @@ func TestMigrationValidation(t *testing.T) {
 		t.Error("invalid spec (threshold 0) validated")
 	}
 }
+
+// TestMigrationClusterCost pins the cluster-granularity cost model with a
+// synthetic geometry where every number is computable by hand. One core in
+// the far corner of a 4x4 mesh (node 15, whose nearest controller is the
+// corner MC at distance 0) round-robins over the four pages of one aligned
+// cluster, which page interleaving spread across all four corner MCs.
+//
+//   - At g=4 the cluster is one decision unit: the whole hot set moves to
+//     the corner controller in ONE migration event. The member already homed
+//     there is skipped, so exactly three pages re-home — MigCopyMsgs counts
+//     per-member copies (3 x CopyFlits) while the single sharer pays ONE
+//     shootdown for the whole cluster (MigStallCycles == ShootdownCycles).
+//   - At g=1 the same trace migrates nothing: any window hot enough to
+//     clear the threshold for one page also touched the page homed on the
+//     target controller, so the queue-balance guard refuses every
+//     candidate (the move would concentrate a spread that page
+//     interleaving balanced). Cluster granularity is precisely what lets
+//     the set move as a unit.
+func TestMigrationClusterCost(t *testing.T) {
+	m := layout.Machine{
+		MeshX: 4, MeshY: 4,
+		NumMCs:     4,
+		LineBytes:  64,
+		PageBytes:  512,
+		L2:         layout.PrivateL2,
+		Interleave: layout.PageInterleave,
+	}
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.DefaultConfig(m, cm)
+	base.L1Bytes = 1024
+	base.L2Bytes = 4096
+
+	// Core 15 at (3,3); pages 0..3 first-touch onto MCs 0..3 in order, so
+	// the cluster's base page homes on MC0 at node (0,0), six hops away.
+	st := sim.Stream{Core: 15}
+	for i := 0; i < 600; i++ {
+		st.Accesses = append(st.Accesses, sim.Access{
+			VAddr:     int64(i%4)*512 + int64(i*64)%512,
+			DesiredMC: -1,
+		})
+	}
+	w := &sim.Workload{Name: "cluster", Streams: []sim.Stream{st}}
+
+	run := func(clusterPages int) *sim.Result {
+		t.Helper()
+		cfg := base
+		cfg.Migrate = &mem.MigrationSpec{
+			HotThreshold: 2, WindowCycles: 256, CooldownWindows: 1,
+			CopyFlits: 2, ShootdownCycles: 16, ClusterPages: clusterPages,
+		}
+		r, err := sim.Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r4 := run(4)
+	if r4.Migrations != 1 {
+		t.Fatalf("g=4: %d migrations, want exactly 1 (the whole cluster in one event)", r4.Migrations)
+	}
+	if want := int64(3 * 2); r4.MigCopyMsgs != want {
+		t.Errorf("g=4: MigCopyMsgs = %d, want %d (3 off-target members x 2 flits; the member already home is not copied)",
+			r4.MigCopyMsgs, want)
+	}
+	if want := int64(16); r4.MigStallCycles != want {
+		t.Errorf("g=4: MigStallCycles = %d, want %d (one shootdown for the whole cluster, one sharer)",
+			r4.MigStallCycles, want)
+	}
+
+	r1 := run(1)
+	if r1.Migrations != 0 {
+		t.Errorf("g=1: %d migrations, want 0 (queue-balance guard refuses every single-page move of a balanced spread)",
+			r1.Migrations)
+	}
+	if r1.MigCopyMsgs != 0 || r1.MigStallCycles != 0 {
+		t.Errorf("g=1: cost charged with no migrations: copy=%d stall=%d", r1.MigCopyMsgs, r1.MigStallCycles)
+	}
+}

@@ -310,6 +310,16 @@ func RunSampled(cfg Config, w *Workload, spec SampleSpec) (*SampledResult, error
 	}
 	sr := &SampledResult{Spec: spec, FullAccesses: w.TotalAccesses()}
 
+	if cfg.Migrate != nil && !spec.coversAll(w) {
+		// Window runs restore cache/page snapshots that carry NO Migrator
+		// state (open-window counters, cooldowns, in-flight remaps), so a
+		// sampled migrating run would silently measure a different policy
+		// than the full run it claims to estimate. Fail fast instead; the
+		// degenerate spec whose windows cover every stream falls through to
+		// one exact full run, where migration is well-defined.
+		return nil, fmt.Errorf("sim: sampled simulation cannot estimate a migrating run (mig=%s): window snapshots carry no migration state; run exact (no -sample), or a sample spec whose windows cover the whole trace", cfg.Migrate)
+	}
+
 	if spec.coversAll(w) {
 		r, err := Run(cfg, w)
 		if err != nil {

@@ -3,10 +3,12 @@ package sim
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"offchip/internal/check"
 	"offchip/internal/layout"
+	"offchip/internal/mem"
 )
 
 func TestParseSampleSpec(t *testing.T) {
@@ -325,5 +327,70 @@ func TestAggregateWeighting(t *testing.T) {
 func TestSubClamps(t *testing.T) {
 	if sub(5, 3) != 2 || sub(3, 5) != 0 || sub(4, 4) != 0 {
 		t.Error("sub misbehaves")
+	}
+}
+
+// TestRunSampledMigrateFailsFast pins the sampled-x-migration contract:
+// window snapshots restore cache and page-table state but carry no Migrator
+// state (open-window counters, cooldowns, in-flight remaps), so a sampled
+// migrating run would silently measure a different policy than the full run
+// it claims to estimate. RunSampled must refuse up front — before any span
+// simulation — unless the spec degenerates to windows that cover the whole
+// trace, where it falls through to one exact run and migration is
+// well-defined again.
+func TestRunSampledMigrateFailsFast(t *testing.T) {
+	m := layout.Machine{
+		MeshX: 4, MeshY: 4,
+		NumMCs:     4,
+		LineBytes:  64,
+		PageBytes:  512,
+		L2:         layout.PrivateL2,
+		Interleave: layout.PageInterleave, // migration requires page interleave
+	}
+	cm, err := layout.MappingM1(m, layout.PlacementCorners(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(m, cm)
+	cfg.L1Bytes = 1024
+	cfg.L2Bytes = 4096
+	spec := mem.DefaultMigrationSpec()
+	cfg.Migrate = &spec
+
+	w := sampleWorkload(4, 2000)
+	if sp := DefaultSampleSpec(); sp.coversAll(w) {
+		t.Fatal("workload too small: the default spec covers it, so nothing is refused")
+	}
+	sr, err := RunSampled(cfg, w, DefaultSampleSpec())
+	if err == nil {
+		t.Fatalf("RunSampled accepted a migrating run it cannot estimate: %+v", sr)
+	}
+	if sr != nil {
+		t.Errorf("fail-fast returned a partial result alongside the error: %+v", sr)
+	}
+	if !strings.Contains(err.Error(), "cannot estimate a migrating run") {
+		t.Errorf("error does not explain the refusal: %v", err)
+	}
+	if !strings.Contains(err.Error(), cfg.Migrate.String()) {
+		t.Errorf("error does not name the offending spec %s: %v", cfg.Migrate, err)
+	}
+
+	// The degenerate covering spec is the documented escape hatch: one
+	// window, full fraction, no warmup — RunSampled collapses to a single
+	// exact run with the engine attached.
+	covering := SampleSpec{Windows: 1, Fraction: 1, WarmupFrac: 0, Replicates: 1}
+	sr, err = RunSampled(cfg, w, covering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Exact {
+		t.Error("covering spec did not take the exact path")
+	}
+	full, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Aggregate.ExecTime != full.ExecTime {
+		t.Errorf("exact migrating run diverged: sampled %d, direct %d", sr.Aggregate.ExecTime, full.ExecTime)
 	}
 }

@@ -219,6 +219,13 @@ type Stream struct {
 type Workload struct {
 	Name    string
 	Streams []Stream
+	// Sequential makes each core execute its streams one after another, in
+	// declaration order, instead of round-robin time-sharing. Phase-changing
+	// multiprogrammed mixes (trace.ComposeMix) set it: their per-phase
+	// streams are ordered phase-major, so sequential execution realizes the
+	// phases as consecutive epochs — which is what moves the hot set
+	// mid-run. Single-stream cores behave identically either way.
+	Sequential bool
 	// Warm optionally primes the machine before timing begins — used by
 	// sampled simulation so a window cut from the middle of a trace starts
 	// from (approximately) the machine state the full run would have there.
@@ -371,6 +378,7 @@ type machine struct {
 	ck     *check.Checker // nil when checking is off
 	pf     *prof.Profiler // nil when profiling is off
 	mig    *migState      // nil when migration is off
+	seq    bool           // Workload.Sequential: no per-core round-robin
 
 	// Registry-backed statistics: the Figure 13 access map plus the access
 	// outcome counters; coreComp holds precomputed trace component names.
@@ -689,6 +697,7 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	if cfg.Migrate != nil {
 		m.mig = newMigState(m, *cfg.Migrate)
 	}
+	m.seq = w.Sequential
 	for i := 0; i < cores; i++ {
 		l1 := cache.New(cfg.L1Bytes, cfg.Machine.LineBytes, cfg.L1Ways)
 		l2 := cache.New(cfg.L2Bytes, cfg.Machine.LineBytes, cfg.L2Ways)
@@ -994,8 +1003,19 @@ func (m *machine) tryIssue(core int) {
 	}
 }
 
-// nextReady picks the core's next stream with work, round-robin.
+// nextReady picks the core's next stream with work: round-robin by default
+// (streams time-share the core), or the first unfinished stream in
+// declaration order under Workload.Sequential (streams run as consecutive
+// epochs — the phase structure of a composed mix).
 func (m *machine) nextReady(cs *coreState) *streamState {
+	if m.seq {
+		for _, ss := range cs.streams {
+			if !ss.done {
+				return ss
+			}
+		}
+		return nil
+	}
 	n := len(cs.streams)
 	for i := 0; i < n; i++ {
 		ss := cs.streams[(cs.nextStream+i)%n]
